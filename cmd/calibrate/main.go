@@ -1,0 +1,63 @@
+// Command calibrate runs every Table III kernel alone on the configured GPU
+// and reports measured vs target bandwidth utilisation, with a suggested
+// ScatterFrac adjustment for kernels that drifted out of band. Use it after
+// changing the memory-system model (timings, scheduler, buffer sizes) to
+// re-tune the synthetic workloads (see DESIGN.md §2).
+//
+// The suggestion uses the locally measured sensitivity of saturated
+// utilisation to ScatterFrac (~ -0.63 utilisation per unit ScatterFrac on
+// the Table II device); treat it as a starting point, not an oracle.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dasesim"
+)
+
+func main() {
+	cycles := flag.Uint64("cycles", 150_000, "alone-run cycle budget per kernel")
+	band := flag.Float64("band", 0.04, "acceptable |measured-target| band")
+	slope := flag.Float64("slope", -0.63, "d(utilisation)/d(ScatterFrac) used for suggestions")
+	flag.Parse()
+
+	cfg := dasesim.DefaultConfig()
+	fmt.Println("app  target  measured  delta   rowhit  alpha  IPC     suggestion")
+	outOfBand := 0
+	for _, p := range dasesim.Kernels() {
+		res, err := dasesim.RunAlone(cfg, p, *cycles, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := res.Apps[0]
+		delta := a.BWUtil - p.PaperBW
+		suggestion := "ok"
+		if delta > *band || delta < -*band {
+			outOfBand++
+			// Saturated streamers tune via ScatterFrac (utilisation falls
+			// as scatter rises); demand-limited kernels tune via MemFrac.
+			if a.Alpha > 0.5 {
+				newSF := p.ScatterFrac + delta/(-*slope)
+				if newSF < 0 {
+					suggestion = fmt.Sprintf("lower MemFrac (ScatterFrac already %.3f)", p.ScatterFrac)
+				} else {
+					suggestion = fmt.Sprintf("ScatterFrac %.3f -> %.3f", p.ScatterFrac, newSF)
+				}
+			} else {
+				scale := p.PaperBW / a.BWUtil
+				suggestion = fmt.Sprintf("MemFrac %.4f -> %.4f", p.MemFrac, p.MemFrac*scale)
+			}
+		}
+		fmt.Printf("%-3s  %5.1f%%  %7.1f%%  %+5.1f%%  %5.1f%%  %4.2f  %6.2f  %s\n",
+			p.Abbr, p.PaperBW*100, a.BWUtil*100, delta*100,
+			a.RowHitRate*100, a.Alpha, a.IPC, suggestion)
+	}
+	if outOfBand > 0 {
+		fmt.Printf("\n%d kernel(s) out of band\n", outOfBand)
+		os.Exit(1)
+	}
+	fmt.Println("\nall kernels within band")
+}

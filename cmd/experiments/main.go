@@ -1,0 +1,245 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated GPU. Each experiment prints a text table with the measured
+// numbers next to the paper's reference values where applicable.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig5,fig9 -cycles 500000
+//	experiments -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dasesim/internal/experiments"
+	"dasesim/internal/workload"
+)
+
+var order = []string{
+	"tableII", "tableIII", "tableI",
+	"fig2a", "fig2b", "fig3", "fig4",
+	"fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9",
+	"extA", "extB", "extC", "extD", "extE", "extF", "extG",
+}
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiments to run, or 'all'")
+	cycles := flag.Uint64("cycles", 0, "override shared-run cycle budget")
+	pairSample := flag.Int("pairs", 0, "override sensitivity pair sample size")
+	quads := flag.Int("quads", 0, "override four-app workload count")
+	seed := flag.Uint64("seed", 0, "override random seed")
+	jsonPath := flag.String("json", "", "also write results as JSON to this file")
+	cacheDir := flag.String("cache-dir", "", "persist alone-run baselines under this directory")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(order, "\n"))
+		return
+	}
+
+	p := experiments.DefaultParams()
+	if *cycles > 0 {
+		p.SharedCycles = *cycles
+	}
+	if *pairSample > 0 {
+		p.PairSample = *pairSample
+	}
+	if *quads > 0 {
+		p.QuadCount = *quads
+	}
+	if *seed > 0 {
+		p.Seed = *seed
+	}
+
+	want := map[string]bool{}
+	if *runFlag == "all" {
+		for _, n := range order {
+			want[n] = true
+		}
+	} else {
+		for _, n := range strings.Split(*runFlag, ",") {
+			n = strings.TrimSpace(n)
+			if n != "" {
+				want[n] = true
+			}
+		}
+	}
+
+	var cache workload.Baseline = workload.NewAloneCache(p.Cfg, p.SharedCycles, p.Seed)
+	if *cacheDir != "" {
+		dc, err := workload.NewDiskCache(p.Cfg, p.SharedCycles, p.Seed, *cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cache dir: %v\n", err)
+			os.Exit(1)
+		}
+		cache = dc
+	}
+	var fig5Res, fig6Res *experiments.AccuracyResult
+	jsonOut := map[string]any{}
+	record := func(name string, v any) { jsonOut[name] = v }
+
+	for _, name := range order {
+		if !want[name] {
+			continue
+		}
+		start := time.Now()
+		var err error
+		switch name {
+		case "tableII":
+			tab := experiments.TableII(p)
+			record(name, tab)
+			fmt.Println(tab)
+		case "tableIII":
+			var rows []experiments.TableIIIRow
+			if rows, err = experiments.TableIII(p); err == nil {
+				record(name, rows)
+				fmt.Println(experiments.RenderTableIII(rows))
+			}
+		case "tableI":
+			tab := experiments.TableI(p, 4)
+			record(name, tab)
+			fmt.Println(tab)
+		case "fig2a":
+			var rows []experiments.Fig2Row
+			if rows, err = experiments.Fig2a(p, cache); err == nil {
+				record(name, rows)
+				fmt.Println(experiments.RenderFig2a(rows))
+			}
+		case "fig2b":
+			var rows []experiments.Fig2bRow
+			if rows, err = experiments.Fig2b(p, cache); err == nil {
+				record(name, rows)
+				fmt.Println(experiments.RenderFig2b(rows))
+			}
+		case "fig3":
+			var rows []experiments.Fig3Row
+			var corr float64
+			if rows, corr, err = experiments.Fig3(p); err == nil {
+				record(name, map[string]any{"rows": rows, "correlation": corr})
+				fmt.Println(experiments.RenderFig3(rows, corr))
+			}
+		case "fig4":
+			var rows []experiments.Fig4Row
+			if rows, err = experiments.Fig4(p, cache); err == nil {
+				record(name, rows)
+				fmt.Println(experiments.RenderFig4(rows))
+			}
+		case "fig5":
+			if fig5Res, err = experiments.Fig5(p, cache); err == nil {
+				record(name, fig5Res.MeanError)
+				fmt.Println(fig5Res.Render("Fig.5 — Estimation error, two-application workloads"))
+			}
+		case "fig6":
+			if fig6Res, err = experiments.Fig6(p, cache); err == nil {
+				record(name, fig6Res.MeanError)
+				fmt.Println(fig6Res.Render("Fig.6 — Estimation error, four-application workloads"))
+			}
+		case "fig7":
+			if fig5Res == nil {
+				if fig5Res, err = experiments.Fig5(p, cache); err != nil {
+					break
+				}
+			}
+			if fig6Res == nil {
+				if fig6Res, err = experiments.Fig6(p, cache); err != nil {
+					break
+				}
+			}
+			f7 := experiments.Fig7(fig5Res, fig6Res)
+			record(name, f7)
+			fmt.Println(f7.Render())
+		case "fig8a":
+			var rows []experiments.SensitivityRow
+			if rows, err = experiments.Fig8a(p, cache); err == nil {
+				record(name, rows)
+				fmt.Println(experiments.RenderSensitivity("Fig.8(a) — DASE error vs SM allocation", rows))
+			}
+		case "fig8b":
+			var rows []experiments.SensitivityRow
+			if rows, err = experiments.Fig8b(p, cache); err == nil {
+				record(name, rows)
+				fmt.Println(experiments.RenderSensitivity("Fig.8(b) — DASE error vs number of SMs", rows))
+			}
+		case "fig9":
+			var res *experiments.Fig9Result
+			if res, err = experiments.Fig9(p, cache); err == nil {
+				record(name, res)
+				fmt.Println(experiments.RenderFig9(res))
+			}
+		case "extA":
+			var rows []experiments.ExtSchedRow
+			if rows, err = experiments.ExtSchedulers(p, cache); err == nil {
+				record(name, rows)
+				fmt.Println(experiments.RenderExtSchedulers(rows))
+			}
+		case "extB":
+			var res *experiments.AccuracyResult
+			if res, err = experiments.ExtEstimators(p, cache); err == nil {
+				record(name, res.MeanError)
+				fmt.Println(experiments.RenderExtEstimators(res))
+			}
+		case "extC":
+			var rows []experiments.SensitivityRow
+			if rows, err = experiments.ExtIntervalSensitivity(p); err == nil {
+				record(name, rows)
+				fmt.Println(experiments.RenderSensitivity("Ext.C — DASE error vs estimation interval length", rows))
+			}
+		case "extD":
+			var rows []experiments.SensitivityRow
+			if rows, err = experiments.ExtRequestMaxFactor(p, cache); err == nil {
+				record(name, rows)
+				fmt.Println(experiments.RenderSensitivity("Ext.D — DASE error vs Requestmax factor (Eq. 20)", rows))
+			}
+		case "extE":
+			var rows []experiments.SensitivityRow
+			if rows, err = experiments.ExtLargeGPU(p); err == nil {
+				record(name, rows)
+				fmt.Println(experiments.RenderSensitivity("Ext.E — DASE accuracy across GPU configurations", rows))
+			}
+		case "extF":
+			var res *experiments.Fig9Result
+			if res, err = experiments.ExtQuadFairness(p, cache, 10); err == nil {
+				record(name, res)
+				tab := experiments.RenderFig9(res)
+				tab.Title = "Ext.F — Unfairness and H.Speedup on four-application workloads"
+				tab.Notes = []string{
+					fmt.Sprintf("fairness improvement: %.1f%%", res.FairnessImprovement()*100),
+					fmt.Sprintf("performance improvement: %.1f%%", res.PerformanceImprovement()*100),
+					"extension beyond the paper: Fig. 9 evaluates pairs only",
+				}
+				fmt.Println(tab)
+			}
+		case "extG":
+			var rows []experiments.ExtTemporalRow
+			if rows, err = experiments.ExtTemporal(p, cache); err == nil {
+				record(name, rows)
+				fmt.Println(experiments.RenderExtTemporal(rows))
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(jsonOut, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal results: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("results written to %s\n", *jsonPath)
+	}
+}

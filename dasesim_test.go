@@ -1,0 +1,116 @@
+package dasesim
+
+import "testing"
+
+// TestFacadeSurface exercises the public API end to end at small scale.
+func TestFacadeSurface(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IntervalCycles = 10_000
+	if len(Kernels()) != 15 || len(KernelNames()) != 15 {
+		t.Fatal("kernel catalogue incomplete")
+	}
+	sb, ok := KernelByAbbr("SB")
+	if !ok {
+		t.Fatal("SB missing")
+	}
+	sd, ok := KernelByAbbr("SD")
+	if !ok {
+		t.Fatal("SD missing")
+	}
+
+	shared, err := RunSharedWithEpochs(cfg, []KernelProfile{sb, sd}, EvenAllocation(cfg.NumSMs, 2), 30_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alone, err := RunAlone(cfg, sd, 30_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	slow := Slowdown(alone.Apps[0].IPC, shared.Apps[1].IPC)
+	if slow < 1 {
+		t.Fatalf("shared run faster than alone: %v", slow)
+	}
+	if u := Unfairness([]float64{slow, 1.5}); u < 1 {
+		t.Fatalf("unfairness %v", u)
+	}
+	if hs := HarmonicSpeedup([]float64{2, 2}); hs != 0.5 {
+		t.Fatalf("harmonic speedup %v", hs)
+	}
+	if e := EstimationError(1.1, 1.0); e < 0.099 || e > 0.101 {
+		t.Fatalf("estimation error %v", e)
+	}
+
+	for _, est := range []Estimator{NewDASE(), NewMISE(), NewASM()} {
+		vals := AverageEstimates(est, shared.Snapshots, 1)
+		if len(vals) != 2 {
+			t.Fatalf("%s returned %d estimates", est.Name(), len(vals))
+		}
+		for _, v := range vals {
+			if v < 1 {
+				t.Fatalf("%s estimate %v below 1", est.Name(), v)
+			}
+		}
+	}
+
+	// Policy path.
+	pol := NewDASEFair()
+	res, err := RunWithPolicy(cfg, []KernelProfile{sb, sd}, []int{8, 8}, 30_000, 1, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) != 2 {
+		t.Fatal("policy run lost apps")
+	}
+
+	// LEFTOVER allocation.
+	lo := LeftoverAllocation(cfg, []KernelProfile{sb, sd})
+	if lo[0] != cfg.NumSMs || lo[1] != 0 {
+		t.Fatalf("LEFTOVER with a big kernel first = %v", lo)
+	}
+
+	// Ablation options construct.
+	ab := NewDASEWithOptions(DASEOptions{LiteralBankInterference: true, StaticRequestMax: true})
+	if ab.Name() != "DASE" {
+		t.Fatal("ablation estimator broken")
+	}
+
+	// Direct GPU use.
+	g, err := NewGPU(cfg, []KernelProfile{sb, sd}, []int{8, 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(5_000)
+	if g.Cycle() != 5_000 {
+		t.Fatalf("cycle = %d", g.Cycle())
+	}
+}
+
+// TestConfigAndKernelFiles round-trips the JSON import/export facade.
+func TestConfigAndKernelFiles(t *testing.T) {
+	dir := t.TempDir()
+
+	cfgPath := dir + "/gpu.json"
+	if err := SaveConfig(LargeConfig(), cfgPath); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumSMs != 24 {
+		t.Fatalf("loaded NumSMs = %d", cfg.NumSMs)
+	}
+
+	kPath := dir + "/kernels.json"
+	if err := SaveKernels(Kernels()[:2], kPath); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := LoadKernels(kPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[0].Abbr != "BS" {
+		t.Fatalf("loaded kernels %v", ps)
+	}
+}

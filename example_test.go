@@ -1,0 +1,58 @@
+package dasesim_test
+
+import (
+	"fmt"
+
+	"dasesim"
+)
+
+// ExampleSlowdown shows the paper's Eq. 1.
+func ExampleSlowdown() {
+	// An app retires 8.0 IPC alone but only 2.5 IPC when sharing the GPU.
+	fmt.Printf("%.2f\n", dasesim.Slowdown(8.0, 2.5))
+	// Output: 3.20
+}
+
+// ExampleUnfairness shows the paper's Eq. 2 with its §3 example values.
+func ExampleUnfairness() {
+	fmt.Printf("%.2f\n", dasesim.Unfairness([]float64{3.44, 1.37}))
+	// Output: 2.51
+}
+
+// ExampleHarmonicSpeedup shows the paper's Eq. 27.
+func ExampleHarmonicSpeedup() {
+	fmt.Printf("%.2f\n", dasesim.HarmonicSpeedup([]float64{2, 2}))
+	// Output: 0.50
+}
+
+// ExampleEstimationError shows the paper's Eq. 26.
+func ExampleEstimationError() {
+	fmt.Printf("%.1f%%\n", dasesim.EstimationError(2.2, 2.0)*100)
+	// Output: 10.0%
+}
+
+// ExampleKernelByAbbr looks up a Table III workload.
+func ExampleKernelByAbbr() {
+	p, ok := dasesim.KernelByAbbr("SD")
+	fmt.Println(ok, p.Name)
+	// Output: true srad
+}
+
+// ExampleEvenAllocation shows the default SM partitioning scheme.
+func ExampleEvenAllocation() {
+	fmt.Println(dasesim.EvenAllocation(16, 3))
+	// Output: [6 5 5]
+}
+
+// ExampleLeftoverAllocation shows why the LEFTOVER policy of current GPUs
+// fails to provide concurrency: a large kernel first leaves nothing over.
+func ExampleLeftoverAllocation() {
+	cfg := dasesim.DefaultConfig()
+	sb, _ := dasesim.KernelByAbbr("SB") // thousands of thread blocks
+	sn, _ := dasesim.KernelByAbbr("SN") // 24 thread blocks
+	fmt.Println(dasesim.LeftoverAllocation(cfg, []dasesim.KernelProfile{sb, sn}))
+	fmt.Println(dasesim.LeftoverAllocation(cfg, []dasesim.KernelProfile{sn, sb}))
+	// Output:
+	// [16 0]
+	// [4 12]
+}

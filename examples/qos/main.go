@@ -1,0 +1,62 @@
+// Qos: demonstrate the DASE-QoS policy (the paper's stated future work) —
+// protect a latency-critical application with a maximum-slowdown guarantee
+// while batch applications absorb the remaining SMs. Sweeps the target to
+// show the knob trading the critical app's guarantee against batch
+// throughput.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dasesim"
+)
+
+func main() {
+	cfg := dasesim.DefaultConfig()
+	const cycles = 500_000
+
+	ct, _ := dasesim.KernelByAbbr("CT") // latency-critical: cache-sensitive
+	va, _ := dasesim.KernelByAbbr("VA") // batch: bandwidth streamer
+	nn, _ := dasesim.KernelByAbbr("NN") // batch: bandwidth streamer
+	apps := []dasesim.KernelProfile{ct, va, nn}
+
+	aloneIPC := make([]float64, len(apps))
+	for i, p := range apps {
+		alone, err := dasesim.RunAlone(cfg, p, cycles, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		aloneIPC[i] = alone.Apps[0].IPC
+	}
+
+	fmt.Println("critical app: CT;  batch: VA, NN;  16 SMs total")
+	fmt.Println("policy          CT slow  VA slow  NN slow  batch-H.speedup  CT SMs")
+
+	show := func(name string, res *dasesim.Result, smsCT int) {
+		s := make([]float64, len(apps))
+		for i := range apps {
+			s[i] = dasesim.Slowdown(aloneIPC[i], res.Apps[i].IPC)
+		}
+		fmt.Printf("%-14s  %7.2f  %7.2f  %7.2f  %15.2f  %6d\n",
+			name, s[0], s[1], s[2], dasesim.HarmonicSpeedup(s[1:]), smsCT)
+	}
+
+	even, err := dasesim.RunWithPolicy(cfg, apps, []int{6, 5, 5}, cycles, 1, dasesim.EvenPolicy{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("even", even, 6)
+
+	for _, target := range []float64{2.0, 1.6, 1.3} {
+		pol := dasesim.NewDASEQoS(0, target)
+		res, err := dasesim.RunWithPolicy(cfg, apps, []int{6, 5, 5}, cycles, 1, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		final := res.Snapshots[len(res.Snapshots)-1]
+		show(fmt.Sprintf("qos(CT<=%.1fx)", target), res, final.Apps[0].SMs)
+	}
+	fmt.Println("\ntighter targets pull CT's slowdown down by granting it SMs,")
+	fmt.Println("at the cost of batch throughput — the QoS/throughput trade-off.")
+}

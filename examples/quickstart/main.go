@@ -1,0 +1,57 @@
+// Quickstart: run two kernels concurrently on the simulated GPU, measure
+// their actual slowdowns against alone runs, and compare with DASE's
+// run-time estimates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dasesim"
+)
+
+func main() {
+	cfg := dasesim.DefaultConfig()
+	const cycles = 300_000
+
+	sb, ok := dasesim.KernelByAbbr("SB")
+	if !ok {
+		log.Fatal("kernel SB not found")
+	}
+	sd, ok := dasesim.KernelByAbbr("SD")
+	if !ok {
+		log.Fatal("kernel SD not found")
+	}
+	apps := []dasesim.KernelProfile{sb, sd}
+
+	// Shared run: even SM split (8+8 of 16).
+	shared, err := dasesim.RunShared(cfg, apps, dasesim.EvenAllocation(cfg.NumSMs, 2), cycles, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Alone baselines (each kernel on all 16 SMs).
+	var aloneIPC []float64
+	for _, p := range apps {
+		alone, err := dasesim.RunAlone(cfg, p, cycles, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		aloneIPC = append(aloneIPC, alone.Apps[0].IPC)
+	}
+
+	// DASE's run-time estimates, averaged over the run's intervals.
+	est := dasesim.AverageEstimates(dasesim.NewDASE(), shared.Snapshots, 1)
+
+	fmt.Println("app  IPC(alone)  IPC(shared)  slowdown  DASE estimate  error")
+	var slowdowns []float64
+	for i, a := range shared.Apps {
+		actual := dasesim.Slowdown(aloneIPC[i], a.IPC)
+		slowdowns = append(slowdowns, actual)
+		fmt.Printf("%-3s  %10.2f  %11.2f  %8.2f  %13.2f  %5.1f%%\n",
+			a.Abbr, aloneIPC[i], a.IPC, actual, est[i],
+			dasesim.EstimationError(est[i], actual)*100)
+	}
+	fmt.Printf("\nunfairness = %.2f (ideal 1.00), harmonic speedup = %.2f\n",
+		dasesim.Unfairness(slowdowns), dasesim.HarmonicSpeedup(slowdowns))
+}

@@ -1,0 +1,3 @@
+module dasesim
+
+go 1.22

@@ -1,0 +1,42 @@
+package baseline
+
+import "dasesim/internal/sim"
+
+// STFM approximates the Stall-Time Fair Memory scheduling slowdown
+// estimator (Mutlu & Moscibroda, MICRO 2007 — the paper's reference [14]):
+// slowdown = Tshared / Talone, with Talone approximated by subtracting the
+// memory stall time other applications impose — here, the bank-blocked
+// cycles normalised by bank-level parallelism. It is DASE's Eq. 8/9/14 bank
+// term alone: no row-buffer or cache interference, no TLP discount, no
+// all-SM scaling — which is exactly what it misses on a GPU.
+type STFM struct{}
+
+// NewSTFM builds the estimator.
+func NewSTFM() *STFM { return &STFM{} }
+
+// Name implements core.Estimator.
+func (s *STFM) Name() string { return "STFM" }
+
+// Estimate implements core.Estimator.
+func (s *STFM) Estimate(snap *sim.IntervalSnapshot) []float64 {
+	out := make([]float64, len(snap.Apps))
+	tShared := float64(snap.IntervalCycles)
+	for i := range snap.Apps {
+		a := &snap.Apps[i]
+		out[i] = 1
+		if tShared == 0 {
+			continue
+		}
+		blp := a.BLP
+		if blp < 1 {
+			blp = 1
+		}
+		interf := tShared * a.BLPBlocked / blp
+		tAlone := tShared - interf
+		if tAlone < tShared*0.05 {
+			tAlone = tShared * 0.05
+		}
+		out[i] = tShared / tAlone
+	}
+	return out
+}

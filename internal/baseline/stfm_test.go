@@ -1,0 +1,32 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"dasesim/internal/sim"
+)
+
+func TestSTFMBankTermOnly(t *testing.T) {
+	s := NewSTFM()
+	if s.Name() != "STFM" {
+		t.Fatal("name")
+	}
+	a := sim.AppInterval{BLP: 40, BLPBlocked: 10}
+	out := s.Estimate(snap(a))[0]
+	// Tinterf = T*10/40 -> slowdown = 1/(1-0.25).
+	want := 1 / (1 - 0.25)
+	if math.Abs(out-want) > 1e-9 {
+		t.Fatalf("STFM = %v, want %v", out, want)
+	}
+	// No interference -> 1.
+	clean := sim.AppInterval{BLP: 40}
+	if got := s.Estimate(snap(clean))[0]; got != 1 {
+		t.Fatalf("clean STFM = %v", got)
+	}
+	// Clamp at 20x when blocked ~ BLP.
+	extreme := sim.AppInterval{BLP: 10, BLPBlocked: 10}
+	if got := s.Estimate(snap(extreme))[0]; got > 20.0001 {
+		t.Fatalf("extreme STFM = %v, want clamp at 20", got)
+	}
+}

@@ -1,0 +1,119 @@
+package cache
+
+import "dasesim/internal/memreq"
+
+// ATD is a per-application auxiliary tag directory (Qureshi & Patt, MICRO'06)
+// with set sampling, as used by DASE and ASM to detect contention cache
+// misses in the shared L2: the ATD has the same associativity and LRU policy
+// as the L2 slice but is touched only by one application's accesses, so it
+// tracks what the cache contents would be if the application ran alone. When
+// the shared L2 misses but the ATD hits, the line was evicted by another
+// application — an "extra LLC miss" (paper §4.2, Eq. 13).
+type ATD struct {
+	assoc       int
+	stride      int // sample every stride-th set of the underlying cache
+	sampledSets int
+	tags        []line // sampledSets*assoc
+	stamp       uint64
+
+	// SampleMisses counts shared-cache misses that hit in the ATD, over
+	// sampled sets only (the SampleMiss counter of Eq. 13).
+	SampleMisses uint64
+	// SampleAccesses counts accesses that fell in sampled sets.
+	SampleAccesses uint64
+}
+
+// NewATD builds an ATD shadowing a cache with totalSets sets and the given
+// associativity, sampling sampledSets of them evenly.
+func NewATD(totalSets, assoc, sampledSets int) *ATD {
+	if sampledSets > totalSets {
+		sampledSets = totalSets
+	}
+	return &ATD{
+		assoc:       assoc,
+		stride:      totalSets / sampledSets,
+		sampledSets: sampledSets,
+		tags:        make([]line, sampledSets*assoc),
+	}
+}
+
+// SampleFraction returns the fraction of cache sets that are sampled
+// (SampleFraction of Eq. 13).
+func (a *ATD) SampleFraction() float64 {
+	return 1 / float64(a.stride)
+}
+
+// sampleIndex maps an underlying cache set to the local sampled-set index,
+// or -1 if the set is not sampled.
+func (a *ATD) sampleIndex(set int) int {
+	if set%a.stride != 0 {
+		return -1
+	}
+	idx := set / a.stride
+	if idx >= a.sampledSets {
+		return -1
+	}
+	return idx
+}
+
+// Access mirrors one application access to the shared cache. set is the
+// underlying cache's set index for addr; sharedMiss says whether the shared
+// cache missed. It returns true when a contention miss is detected (shared
+// miss, ATD hit). The ATD is updated (LRU touch or fill) regardless.
+func (a *ATD) Access(set int, addr uint64, sharedMiss bool) bool {
+	idx := a.sampleIndex(set)
+	if idx < 0 {
+		return false
+	}
+	a.stamp++
+	a.SampleAccesses++
+	ways := a.tags[idx*a.assoc : (idx+1)*a.assoc]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == addr {
+			ways[i].lru = a.stamp
+			if sharedMiss {
+				a.SampleMisses++
+				return true
+			}
+			return false
+		}
+	}
+	// ATD miss: install with LRU replacement. The application would have
+	// missed even alone, so this is not a contention miss.
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			oldest = 0
+			break
+		}
+		if ways[i].lru < oldest {
+			oldest = ways[i].lru
+			victim = i
+		}
+	}
+	ways[victim] = line{tag: addr, valid: true, lru: a.stamp, owner: memreq.InvalidApp}
+	return false
+}
+
+// ExtraMisses scales the sampled contention-miss count up to the whole cache
+// (Eq. 13: ELLCMiss = SampleMiss / SampleFraction).
+func (a *ATD) ExtraMisses() float64 {
+	return float64(a.SampleMisses) / a.SampleFraction()
+}
+
+// ResetCounters clears the interval counters but keeps the tag state (the
+// ATD must stay warm across intervals, mirroring the hardware).
+func (a *ATD) ResetCounters() {
+	a.SampleMisses = 0
+	a.SampleAccesses = 0
+}
+
+// Reset clears tags and counters.
+func (a *ATD) Reset() {
+	for i := range a.tags {
+		a.tags[i] = line{}
+	}
+	a.ResetCounters()
+}

@@ -1,0 +1,258 @@
+// Package cache implements the set-associative caches used for the per-SM L1
+// and the per-partition L2 slices, including MSHR-based miss tracking, and
+// the sampled auxiliary tag directory (ATD) that DASE and ASM use to detect
+// contention-induced shared-cache misses (paper §4.2, "Cache Interference").
+package cache
+
+import (
+	"dasesim/internal/config"
+	"dasesim/internal/memreq"
+)
+
+// AccessResult describes the outcome of a cache access.
+type AccessResult int
+
+const (
+	// Hit means the line was present.
+	Hit AccessResult = iota
+	// Miss means the line was absent and an MSHR was allocated; the caller
+	// must forward a fill request downstream.
+	Miss
+	// MergedMiss means the line was absent but a fill for it is already in
+	// flight; the access was queued on the existing MSHR.
+	MergedMiss
+	// Blocked means no MSHR (or merge slot) was available; the caller must
+	// retry later. The cache state is unchanged.
+	Blocked
+)
+
+func (r AccessResult) String() string {
+	switch r {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case MergedMiss:
+		return "merged-miss"
+	default:
+		return "blocked"
+	}
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	owner memreq.AppID // app that brought the line in (replacement stats)
+	lru   uint64       // last-touch stamp; higher = more recent
+}
+
+type mshr struct {
+	tag    uint64
+	valid  bool
+	merged int // accesses waiting on this fill, beyond the first
+}
+
+// Stats aggregates cache activity. Counters are cumulative; callers snapshot
+// and subtract for per-interval numbers.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64 // demand misses that allocated an MSHR
+	Merged     uint64
+	Blockings  uint64
+	Evictions  uint64
+	Writebacks uint64 // dirty evictions (writeback mode only)
+}
+
+// Cache is a blocking-free set-associative cache with LRU replacement and a
+// fixed pool of MSHRs. It tracks tags only (no data), which is all a timing
+// model needs.
+type Cache struct {
+	cfg   config.CacheConfig
+	sets  int
+	lines []line // sets*assoc, row-major by set
+	mshrs []mshr
+	stamp uint64
+
+	// Stats is indexed by app; index len-1 aggregates all apps when the
+	// cache is shared. Callers size it via NewCache's numApps.
+	stats []Stats
+}
+
+// NewCache builds a cache sized by cfg, keeping per-app statistics for
+// numApps applications.
+func NewCache(cfg config.CacheConfig, numApps int) *Cache {
+	c := &Cache{
+		cfg:   cfg,
+		sets:  cfg.Sets(),
+		lines: make([]line, cfg.Sets()*cfg.Assoc),
+		mshrs: make([]mshr, cfg.MSHRs),
+		stats: make([]Stats, numApps),
+	}
+	return c
+}
+
+// Sets returns the number of cache sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Stats returns a copy of the statistics for app.
+func (c *Cache) Stats(app memreq.AppID) Stats { return c.stats[app] }
+
+func (c *Cache) setSlice(set int) []line {
+	base := set * c.cfg.Assoc
+	return c.lines[base : base+c.cfg.Assoc]
+}
+
+// Access performs a demand access for the line containing addr on behalf of
+// app; set is the caller-computed set index (callers share an AddrMap so the
+// L2 slice and its ATD see identical indices). On Miss the line is NOT yet
+// installed — the caller installs it via Fill when the downstream reply
+// arrives.
+func (c *Cache) Access(app memreq.AppID, set int, addr uint64) AccessResult {
+	return c.AccessRW(app, set, addr, false)
+}
+
+// AccessRW is Access with a store flag: when the cache is configured for
+// writeback, a store hit marks the line dirty.
+func (c *Cache) AccessRW(app memreq.AppID, set int, addr uint64, write bool) AccessResult {
+	c.stamp++
+	tag := addr
+	st := &c.stats[app]
+	st.Accesses++
+	ways := c.setSlice(set)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.stamp
+			if write && c.cfg.Writeback {
+				ways[i].dirty = true
+			}
+			st.Hits++
+			return Hit
+		}
+	}
+	// Miss path: find or allocate an MSHR.
+	var free *mshr
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if m.valid && m.tag == tag {
+			if m.merged >= c.cfg.MSHRMerge {
+				st.Blockings++
+				return Blocked
+			}
+			m.merged++
+			st.Merged++
+			return MergedMiss
+		}
+		if !m.valid && free == nil {
+			free = m
+		}
+	}
+	if free == nil {
+		st.Blockings++
+		return Blocked
+	}
+	free.valid = true
+	free.tag = tag
+	free.merged = 0
+	st.Misses++
+	return Miss
+}
+
+// Probe reports whether the line is present without updating LRU or stats.
+func (c *Cache) Probe(set int, addr uint64) bool {
+	ways := c.setSlice(set)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs the line for app after its downstream fill returned, freeing
+// the MSHR. It returns the number of accesses that were merged on the MSHR
+// (waiters to wake beyond the original miss) and the previous owner of the
+// evicted line (InvalidApp if no valid line was evicted).
+func (c *Cache) Fill(app memreq.AppID, set int, addr uint64) (merged int, evicted memreq.AppID) {
+	merged, evicted, _ = c.FillRW(app, set, addr, false)
+	return merged, evicted
+}
+
+// FillRW is Fill with a store flag (the fill completes a write miss, so the
+// installed line is dirty under writeback) and a write-back report: when a
+// dirty line is evicted, wb carries its address and wb.Valid is true — the
+// caller must emit the write-back transaction downstream.
+func (c *Cache) FillRW(app memreq.AppID, set int, addr uint64, write bool) (merged int, evicted memreq.AppID, wb Writeback) {
+	c.stamp++
+	tag := addr
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if m.valid && m.tag == tag {
+			merged = m.merged
+			m.valid = false
+			break
+		}
+	}
+	evicted = memreq.InvalidApp
+	ways := c.setSlice(set)
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			oldest = 0
+			break
+		}
+		if ways[i].lru < oldest {
+			oldest = ways[i].lru
+			victim = i
+		}
+	}
+	v := &ways[victim]
+	if v.valid {
+		evicted = v.owner
+		c.stats[app].Evictions++
+		if v.dirty && c.cfg.Writeback {
+			wb = Writeback{Valid: true, Addr: v.tag, Owner: v.owner}
+			c.stats[app].Writebacks++
+		}
+	}
+	v.valid = true
+	v.tag = tag
+	v.owner = app
+	v.lru = c.stamp
+	v.dirty = write && c.cfg.Writeback
+	return merged, evicted, wb
+}
+
+// Writeback describes a dirty line evicted by a Fill.
+type Writeback struct {
+	Valid bool
+	Addr  uint64
+	Owner memreq.AppID
+}
+
+// MSHRsInUse reports how many MSHRs are currently allocated.
+func (c *Cache) MSHRsInUse() int {
+	n := 0
+	for i := range c.mshrs {
+		if c.mshrs[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset invalidates all lines, MSHRs and statistics.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	for i := range c.mshrs {
+		c.mshrs[i] = mshr{}
+	}
+	for i := range c.stats {
+		c.stats[i] = Stats{}
+	}
+}

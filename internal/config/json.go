@@ -1,0 +1,49 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ToJSON serialises the configuration (indented, stable field names — the
+// struct's exported fields are the schema).
+func (c Config) ToJSON() ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// FromJSON parses a configuration produced by ToJSON (or hand-written).
+// Missing fields inherit the zero value, so callers typically start from
+// Default, serialise, edit, and reload; Validate is applied before
+// returning.
+func FromJSON(data []byte) (Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Config{}, fmt.Errorf("config: parse: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// LoadFile reads a JSON configuration from disk.
+func LoadFile(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	return FromJSON(data)
+}
+
+// SaveFile writes the configuration as JSON.
+func (c Config) SaveFile(path string) error {
+	data, err := c.ToJSON()
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package config
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := Default()
+	c.NumSMs = 20
+	c.Mem.AppAwareRR = true
+	data, err := c.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round trip changed config:\n%+v\n%+v", c, got)
+	}
+}
+
+func TestFromJSONValidates(t *testing.T) {
+	c := Default()
+	c.NumSMs = 0
+	data, _ := c.ToJSON()
+	if _, err := FromJSON(data); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := FromJSON([]byte("{nope")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gpu.json")
+	c := Large()
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatal("file round trip changed config")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"dasesim/internal/config"
+	"dasesim/internal/kernels"
+	"dasesim/internal/sim"
+)
+
+// TestDASEOnAloneRun: with a single application on all SMs there is no
+// inter-application interference, so every interval estimate must stay very
+// close to 1.0 — the model's zero-point.
+func TestDASEOnAloneRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	cfg := config.Default()
+	d := New(Options{})
+	for _, ab := range []string{"SB", "SD", "CT", "QR"} {
+		p, ok := kernels.ByAbbr(ab)
+		if !ok {
+			t.Fatalf("kernel %s missing", ab)
+		}
+		res, err := sim.RunAlone(cfg, p, 150_000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si := 1; si < len(res.Snapshots); si++ {
+			est := d.Estimate(&res.Snapshots[si])[0]
+			if est > 1.35 {
+				t.Errorf("%s alone, interval %d: DASE estimated %.2f (no interference exists)", ab, si, est)
+			}
+		}
+	}
+}
+
+// TestDASEOnAloneRunSubsetSMs: one app on 8 of 16 SMs. The true slowdown vs
+// all-SM-alone is the measured IPC ratio; DASE's all-SM scaling (Eqs. 23-25)
+// must land near it.
+func TestDASEOnAloneRunSubsetSMs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	cfg := config.Default()
+	d := New(Options{})
+	for _, ab := range []string{"QR", "CT", "SB"} {
+		p, _ := kernels.ByAbbr(ab)
+		full, err := sim.RunAlone(cfg, p, 150_000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		half, err := sim.RunShared(cfg, []kernels.Profile{p}, []int{8}, 150_000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual := full.Apps[0].IPC / half.Apps[0].IPC
+		est := AverageEstimates(d, half.Snapshots, 1)[0]
+		rel := est/actual - 1
+		if rel < -0.35 || rel > 0.35 {
+			t.Errorf("%s on 8 SMs: actual %.2f, DASE %.2f (off by %.0f%%)", ab, actual, est, rel*100)
+		}
+	}
+}

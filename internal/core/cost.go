@@ -1,0 +1,49 @@
+package core
+
+// CostItem is one hardware structure of the DASE implementation (Table I).
+type CostItem struct {
+	Name string
+	Bits int
+}
+
+// Cost is the per-memory-partition hardware budget of DASE.
+type Cost struct {
+	Items            []CostItem
+	PerPartitionBits int
+	// PerSMBits covers the α registers and SM/TB counters held outside the
+	// memory partitions.
+	PerSMBits int
+}
+
+// FractionOfL2 returns the per-partition cost as a fraction of an L2 slice
+// of the given byte size (the paper quotes <0.625% of a 64 KB slice).
+func (c Cost) FractionOfL2(l2Bytes int) float64 {
+	return float64(c.PerPartitionBits) / 8 / float64(l2Bytes)
+}
+
+// HardwareCost reproduces the paper's Table I accounting for N concurrent
+// applications, a controller with numBanks banks, and an ATD with
+// sampledSets sets of the given associativity. Per §4.4, "the slowdown of
+// each application is estimated one by one to reduce hardware cost", so the
+// ERBMiss/ELLCMiss counters, the ATD, the last-row registers and the
+// TimeRequest/BLP counters exist once per partition and are time-multiplexed
+// across applications; only the served-request counters are per-app.
+func HardwareCost(numApps, numBanks, sampledSets, assoc, numSMs int) Cost {
+	items := []CostItem{
+		{"ERBMiss/ELLCMiss counters", 2 * 32},
+		{"Last access row address registers", numBanks * 16},
+		{"Sample ATD", sampledSets * assoc * 32},
+		{"Served memory request counters", 32 * numApps},
+		{"TimeRequest counters", 32},
+		{"BLP/BLPAccess counters", 2 * 32},
+	}
+	total := 0
+	for _, it := range items {
+		total += it.Bits
+	}
+	return Cost{
+		Items:            items,
+		PerPartitionBits: total,
+		PerSMBits:        32 + 32 + 4*32, // α register, interval counter, SM/TB counters
+	}
+}

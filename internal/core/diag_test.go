@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"dasesim/internal/config"
+	"dasesim/internal/kernels"
+	"dasesim/internal/sim"
+)
+
+// TestDiagnosticBreakdown dumps the full DASE interference decomposition for
+// a streamer+victim pair; run with -v when tuning the model. It asserts only
+// the directional invariant: the victim's estimated slowdown exceeds the
+// streamer's.
+func TestDiagnosticBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow diagnostic")
+	}
+	cfg := config.Default()
+	va, _ := kernels.ByAbbr("VA")
+	ct, _ := kernels.ByAbbr("CT")
+	g, err := sim.New(cfg, []kernels.Profile{va, ct}, []int{8, 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(150_000)
+	res := g.FinishRun()
+	d := New(Options{})
+	for si, snap := range res.Snapshots {
+		if si == 0 {
+			continue
+		}
+		det := d.EstimateDetailed(&snap)
+		for i, e := range det {
+			a := snap.Apps[i]
+			t.Logf("int%d app%d(%s): est=%.2f assigned=%.2f mbb=%v alpha=%.2f tBK=%.0f tRB=%.0f tLLC=%.0f tIntf=%.0f blp=%.1f blpAcc=%.1f blpBlk=%.1f served=%d erb=%d ellc=%.0f",
+				si, i, res.Apps[i].Abbr, e.Slowdown, e.SlowdownAssigned, e.MBB, e.Alpha,
+				e.TimeBank, e.TimeRow, e.TimeLLC, e.TimeInterference,
+				a.BLP, a.BLPAccess, a.BLPBlocked, a.Served, a.ERBMiss, a.ELLCMiss)
+		}
+		if det[1].Slowdown <= det[0].Slowdown {
+			t.Errorf("interval %d: victim CT estimate %.2f not above streamer VA %.2f",
+				si, det[1].Slowdown, det[0].Slowdown)
+		}
+	}
+}

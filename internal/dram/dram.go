@@ -1,0 +1,531 @@
+// Package dram models one GDDR memory controller per memory partition: a
+// request buffer, an FR-FCFS scheduler, NumBanks DRAM banks with row buffers
+// and tRCD/tRP/CAS timing, and a shared data bus that moves one cache line
+// per TBurst core cycles.
+//
+// Besides timing, the controller maintains the per-application hardware
+// counters the paper's estimators read (Table I): served-request counters,
+// total bank-occupancy time (TimeRequest), bank-level-parallelism samples
+// (BLP and BLPAccess), last-access-row registers for extra-row-buffer-miss
+// detection (ERBMiss), and the DRAM bandwidth decomposition of Figure 2(b)
+// (per-app data cycles, wasted timing-constraint cycles, idle cycles).
+package dram
+
+import (
+	"dasesim/internal/config"
+	"dasesim/internal/memreq"
+)
+
+// blpSamplePeriod is how often (in core cycles) the controller samples
+// bank-level parallelism. Real hardware samples continuously; sampling every
+// few cycles is statistically identical and much cheaper to simulate.
+const blpSamplePeriod = 8
+
+// AppCounters are the per-application DASE hardware counters of one memory
+// controller, cumulative since the last ResetCounters.
+type AppCounters struct {
+	// Served counts requests whose data transfer completed (Request_i).
+	Served uint64
+	// TimeInBanks sums, over served requests, the cycles from bank
+	// scheduling to data completion (the TimeRequest counter of Eq. 12).
+	TimeInBanks uint64
+	// ERBMiss counts extra row-buffer misses: row misses to a row equal to
+	// the app's last accessed row in that bank (Eq. 10).
+	ERBMiss uint64
+	// RowHits / RowMisses classify served requests by row-buffer outcome.
+	RowHits   uint64
+	RowMisses uint64
+	// BLPSum accumulates, at each sample with outstanding work, the number
+	// of banks executing or targeted by the app's queued requests (BLP_i).
+	BLPSum uint64
+	// BLPAccessSum accumulates banks currently executing the app's requests
+	// (BLPAccess_i).
+	BLPAccessSum uint64
+	// BLPBlockedSum accumulates banks the app is queued on while another
+	// app's request occupies them — direct bank-interference evidence,
+	// zero when the app runs alone.
+	BLPBlockedSum uint64
+	// BLPSamples counts samples taken while the app had outstanding work.
+	BLPSamples uint64
+	// DataBusCycles is the data-bus time spent transferring the app's lines.
+	DataBusCycles uint64
+	// Enqueued counts requests accepted into the request buffer.
+	Enqueued uint64
+}
+
+// BLP returns the average bank-level parallelism of the application: banks
+// executing or about to be occupied by its queued requests, averaged over
+// cycles with at least one outstanding request (paper §4.2).
+func (c AppCounters) BLP() float64 {
+	if c.BLPSamples == 0 {
+		return 0
+	}
+	return float64(c.BLPSum) / float64(c.BLPSamples)
+}
+
+// BLPAccess returns the average number of banks executing the application's
+// requests over the same samples.
+func (c AppCounters) BLPAccess() float64 {
+	if c.BLPSamples == 0 {
+		return 0
+	}
+	return float64(c.BLPAccessSum) / float64(c.BLPSamples)
+}
+
+// BLPBlocked returns the average number of banks on which the application
+// waits behind another application's request.
+func (c AppCounters) BLPBlocked() float64 {
+	if c.BLPSamples == 0 {
+		return 0
+	}
+	return float64(c.BLPBlockedSum) / float64(c.BLPSamples)
+}
+
+// BusCounters decompose the controller's data-bus bandwidth, as in Fig. 2(b).
+type BusCounters struct {
+	// Cycles is the total cycles observed.
+	Cycles uint64
+	// Idle counts cycles with no request anywhere in the controller.
+	Idle uint64
+	// Data cycles are accounted per app in AppCounters.DataBusCycles; the
+	// remainder (Cycles - Idle - ΣData) is Wasted-BW: bus time lost to
+	// DRAM timing constraints (ACT/PRE/CAS gaps) while work was pending.
+}
+
+// Wasted derives the timing-constraint waste given the summed per-app data
+// cycles of the same window.
+func (b BusCounters) Wasted(totalData uint64) uint64 {
+	if b.Idle+totalData >= b.Cycles {
+		return 0
+	}
+	return b.Cycles - b.Idle - totalData
+}
+
+type bank struct {
+	openRow   uint64
+	rowOpen   bool
+	readyAt   uint64 // earliest cycle the next command may start
+	busyUntil uint64 // current request completes (data fully transferred)
+	cur       *memreq.Request
+	curRowHit bool
+}
+
+// Controller is one memory partition's DRAM controller.
+type Controller struct {
+	cfg     config.MemConfig
+	amap    memreq.AddrMap
+	id      int
+	numApps int
+
+	banks  []bank
+	queues [][]*memreq.Request // per-bank request queues
+	queued int                 // total buffered requests
+	seq    uint64              // enqueue sequence for FCFS ordering
+
+	// lastRow[app*NumBanks+bank] is the app's last accessed row in bank
+	// (the last-access-row registers of Table I).
+	lastRow      []uint64
+	lastRowValid []bool
+
+	busBusyUntil uint64
+
+	// Activation throttling (tRRD/tFAW): lastActs holds the most recent
+	// four ACT issue times, lastActs[0] being the oldest; actCount says how
+	// many entries are real.
+	lastActs [4]uint64
+	actCount int
+
+	outstanding []int // per-app requests in queue or in banks
+
+	prio memreq.AppID // app whose requests are scheduled first (MISE/ASM)
+
+	// Application-aware round-robin scheduling state (AppAwareRR).
+	rrNext memreq.AppID
+
+	// Refresh state: the next refresh deadline (0 disables).
+	nextRefresh uint64
+	// Refreshes counts completed refresh operations.
+	Refreshes uint64
+
+	apps []AppCounters
+	bus  BusCounters
+
+	replies []*memreq.Request
+}
+
+// NewController builds a controller for partition id serving numApps apps.
+func NewController(cfg config.MemConfig, amap memreq.AddrMap, id, numApps int) *Controller {
+	return &Controller{
+		cfg:          cfg,
+		amap:         amap,
+		id:           id,
+		numApps:      numApps,
+		banks:        make([]bank, cfg.NumBanks),
+		queues:       make([][]*memreq.Request, cfg.NumBanks),
+		lastRow:      make([]uint64, numApps*cfg.NumBanks),
+		lastRowValid: make([]bool, numApps*cfg.NumBanks),
+		outstanding:  make([]int, numApps),
+		prio:         memreq.InvalidApp,
+		apps:         make([]AppCounters, numApps),
+		nextRefresh:  cfg.TREFI,
+	}
+}
+
+// CanAccept reports whether the request buffer has room.
+func (c *Controller) CanAccept() bool { return c.queued < c.cfg.QueueDepth }
+
+// Enqueue adds a request to its bank's queue. The caller must have checked
+// CanAccept. The request's BankEnter field temporarily stores its arrival
+// sequence number for FCFS ordering until it is scheduled into the bank.
+func (c *Controller) Enqueue(r *memreq.Request) {
+	b := c.amap.Bank(r.Addr)
+	c.seq++
+	r.BankEnter = c.seq
+	c.queues[b] = append(c.queues[b], r)
+	c.queued++
+	c.outstanding[r.App]++
+	c.apps[r.App].Enqueued++
+}
+
+// QueueLen returns the number of buffered (not yet bank-scheduled) requests.
+func (c *Controller) QueueLen() int { return c.queued }
+
+// Outstanding returns the app's requests currently queued or in service.
+func (c *Controller) Outstanding(app memreq.AppID) int { return c.outstanding[app] }
+
+// SetPriorityApp makes the scheduler serve the given app's requests first
+// (the highest-priority epoch mechanism MISE and ASM rely on). Pass
+// memreq.InvalidApp to restore plain FR-FCFS.
+func (c *Controller) SetPriorityApp(app memreq.AppID) { c.prio = app }
+
+// PriorityApp returns the currently prioritized app, or InvalidApp.
+func (c *Controller) PriorityApp() memreq.AppID { return c.prio }
+
+// Counters returns a copy of the app's cumulative counters.
+func (c *Controller) Counters(app memreq.AppID) AppCounters { return c.apps[app] }
+
+// Bus returns a copy of the bandwidth-decomposition counters.
+func (c *Controller) Bus() BusCounters { return c.bus }
+
+// ResetCounters zeroes all per-app and bus counters (start of an estimation
+// interval). Bank and row-buffer state persists.
+func (c *Controller) ResetCounters() {
+	for i := range c.apps {
+		c.apps[i] = AppCounters{}
+	}
+	c.bus = BusCounters{}
+}
+
+// Replies drains and returns the requests completed during the last Cycle.
+func (c *Controller) Replies() []*memreq.Request {
+	r := c.replies
+	c.replies = c.replies[:0]
+	return r
+}
+
+// Cycle advances the controller by one core cycle: completes transfers,
+// schedules at most one new request into a bank (FR-FCFS), and updates the
+// accounting counters.
+func (c *Controller) Cycle(now uint64) {
+	// 0. Periodic all-bank refresh: stall every bank for TRFC and close
+	// all rows. Banks mid-transfer finish first (refresh starts after the
+	// last busyUntil).
+	if c.nextRefresh > 0 && now >= c.nextRefresh {
+		start := now
+		for i := range c.banks {
+			if c.banks[i].busyUntil > start {
+				start = c.banks[i].busyUntil
+			}
+		}
+		end := start + c.cfg.TRFC
+		for i := range c.banks {
+			b := &c.banks[i]
+			b.rowOpen = false
+			if b.readyAt < end {
+				b.readyAt = end
+			}
+		}
+		c.Refreshes++
+		c.nextRefresh += c.cfg.TREFI
+	}
+
+	// 1. Complete requests whose data transfer has finished.
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.cur != nil && now >= b.busyUntil {
+			r := b.cur
+			ac := &c.apps[r.App]
+			ac.Served++
+			ac.TimeInBanks += b.busyUntil - r.BankEnter
+			if b.curRowHit {
+				ac.RowHits++
+			} else {
+				ac.RowMisses++
+			}
+			c.outstanding[r.App]--
+			c.replies = append(c.replies, r)
+			b.cur = nil
+		}
+	}
+
+	// 2. FR-FCFS: pick one request to schedule into its bank this cycle.
+	if bi, idx := c.pickRequest(now); bi >= 0 {
+		c.schedule(bi, idx, now)
+	}
+
+	// 3. Bandwidth decomposition: only idle is observable per cycle (no
+	// request anywhere); data is accounted at scheduling time and waste is
+	// derived (see BusCounters).
+	c.bus.Cycles++
+	if now >= c.busBusyUntil && !c.busyOrPending() {
+		c.bus.Idle++
+	}
+
+	// 4. BLP sampling.
+	if now%blpSamplePeriod == 0 {
+		c.sampleBLP()
+	}
+}
+
+func (c *Controller) busyOrPending() bool {
+	if c.queued > 0 {
+		return true
+	}
+	for i := range c.banks {
+		if c.banks[i].cur != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// actAllowed reports whether a row activation may issue at now (tRRD from
+// the last ACT, tFAW from the fourth-last).
+func (c *Controller) actAllowed(now uint64) bool {
+	if c.actCount >= 1 && c.cfg.TRRD > 0 && now < c.lastActs[3]+c.cfg.TRRD {
+		return false
+	}
+	if c.actCount >= 4 && c.cfg.TFAW > 0 && now < c.lastActs[0]+c.cfg.TFAW {
+		return false
+	}
+	return true
+}
+
+func (c *Controller) recordAct(now uint64) {
+	copy(c.lastActs[:], c.lastActs[1:])
+	c.lastActs[3] = now
+	if c.actCount < 4 {
+		c.actCount++
+	}
+}
+
+// rowHitLookahead bounds how deep into a bank queue the scheduler searches
+// for a row-buffer hit (FR-FCFS with bounded reordering).
+const rowHitLookahead = 8
+
+// pickRequest selects the (bank, queue index) of the request to schedule,
+// or (-1, -1), according to the active scheduling policy.
+func (c *Controller) pickRequest(now uint64) (int, int) {
+	if !c.cfg.AppAwareRR || c.numApps <= 1 {
+		return c.pickFRFCFS(now, memreq.InvalidApp)
+	}
+	// Application-aware round-robin: serve the next application (in
+	// rotation) that has an eligible request, FR-FCFS within it.
+	for k := 0; k < c.numApps; k++ {
+		app := memreq.AppID((int(c.rrNext) + k) % c.numApps)
+		if c.outstanding[app] == 0 {
+			continue
+		}
+		if bi, idx := c.pickFRFCFS(now, app); bi >= 0 {
+			c.rrNext = memreq.AppID((int(app) + 1) % c.numApps)
+			return bi, idx
+		}
+	}
+	return -1, -1
+}
+
+// pickFRFCFS selects per FR-FCFS, optionally restricted to one application
+// (only != InvalidApp). Per free bank the candidate is the first row hit
+// within the lookahead window, else the head; across banks the order is
+// priority app > row hit > oldest arrival. Requests needing an activation
+// are ineligible while the tRRD/tFAW window forbids one.
+func (c *Controller) pickFRFCFS(now uint64, only memreq.AppID) (int, int) {
+	bestBank, bestIdx := -1, -1
+	var bestSeq uint64
+	bestHit := false
+	bestPrio := false
+	actOK := c.actAllowed(now)
+	for bi := range c.banks {
+		bnk := &c.banks[bi]
+		if bnk.cur != nil || now < bnk.readyAt || len(c.queues[bi]) == 0 {
+			continue
+		}
+		q := c.queues[bi]
+		idx := -1
+		hit := false
+		// The prioritized app's oldest request in this bank preempts the
+		// bank-local FR-FCFS choice (MISE/ASM's highest-priority epochs).
+		if c.prio != memreq.InvalidApp && (only == memreq.InvalidApp || only == c.prio) {
+			for k := 0; k < len(q) && k < rowHitLookahead; k++ {
+				if q[k].App == c.prio {
+					h := bnk.rowOpen && c.amap.Row(q[k].Addr) == bnk.openRow
+					if !h && !actOK {
+						break
+					}
+					idx, hit = k, h
+					break
+				}
+			}
+		}
+		if idx == -1 && bnk.rowOpen {
+			row := bnk.openRow
+			for k := 0; k < len(q) && k < rowHitLookahead; k++ {
+				if only != memreq.InvalidApp && q[k].App != only {
+					continue
+				}
+				if c.amap.Row(q[k].Addr) == row {
+					idx, hit = k, true
+					break
+				}
+			}
+		}
+		if idx == -1 {
+			if !actOK {
+				continue // an ACT is needed and the power window forbids it
+			}
+			if only == memreq.InvalidApp {
+				idx = 0
+			} else {
+				for k := 0; k < len(q) && k < rowHitLookahead; k++ {
+					if q[k].App == only {
+						idx = k
+						break
+					}
+				}
+				if idx == -1 {
+					continue
+				}
+			}
+		}
+		r := q[idx]
+		prio := c.prio != memreq.InvalidApp && r.App == c.prio
+		better := bestBank == -1 ||
+			(prio && !bestPrio) ||
+			(prio == bestPrio && hit && !bestHit) ||
+			(prio == bestPrio && hit == bestHit && r.BankEnter < bestSeq)
+		if better {
+			bestBank, bestIdx, bestSeq, bestHit, bestPrio = bi, idx, r.BankEnter, hit, prio
+		}
+	}
+	return bestBank, bestIdx
+}
+
+// schedule moves the request at queues[bi][idx] into its bank and computes
+// its service timeline.
+func (c *Controller) schedule(bi, idx int, now uint64) {
+	q := c.queues[bi]
+	r := q[idx]
+	c.queues[bi] = append(q[:idx], q[idx+1:]...)
+	c.queued--
+
+	row := c.amap.Row(r.Addr)
+	b := &c.banks[bi]
+
+	// Row-buffer outcome and command latency.
+	var cmdLat uint64
+	rowHit := false
+	switch {
+	case b.rowOpen && b.openRow == row:
+		cmdLat = c.cfg.TCAS
+		rowHit = true
+	case b.rowOpen: // conflict: precharge + activate + CAS
+		cmdLat = c.cfg.TRP + c.cfg.TRCD + c.cfg.TCAS
+		c.recordAct(now)
+	default: // closed: activate + CAS
+		cmdLat = c.cfg.TRCD + c.cfg.TCAS
+		c.recordAct(now)
+	}
+
+	// Extra-row-buffer-miss detection (Eq. 10): the app re-opens the row it
+	// accessed last in this bank, so the intervening close was interference.
+	li := int(r.App)*c.cfg.NumBanks + bi
+	if !rowHit && c.lastRowValid[li] && c.lastRow[li] == row {
+		c.apps[r.App].ERBMiss++
+	}
+	c.lastRow[li] = row
+	c.lastRowValid[li] = true
+
+	b.rowOpen = true
+	b.openRow = row
+
+	// Data-bus reservation: the burst starts when both the bank commands
+	// have completed and the bus is free.
+	dataStart := now + cmdLat
+	if dataStart < c.busBusyUntil {
+		dataStart = c.busBusyUntil
+	}
+	dataEnd := dataStart + c.cfg.TBurst
+	c.busBusyUntil = dataEnd
+
+	b.cur = r
+	b.curRowHit = rowHit
+	b.busyUntil = dataEnd
+	b.readyAt = dataEnd // next command to this bank after data completes
+	r.BankEnter = now
+
+	c.apps[r.App].DataBusCycles += c.cfg.TBurst
+}
+
+// sampleBLP takes one bank-level-parallelism sample for every app with
+// outstanding work.
+func (c *Controller) sampleBLP() {
+	// execCount[app] = banks executing app's request; targetMask = banks
+	// the app is executing on or queued for; queuedMask = banks the app is
+	// queued for; busyOther = banks occupied by someone.
+	var execCount [16]int // supports up to 16 apps without allocation
+	var targetMask, queuedMask [16]uint64
+	var busyMask [16]uint64
+	nApps := c.numApps
+	if nApps > len(execCount) {
+		nApps = len(execCount)
+	}
+	var anyBusy uint64
+	for i := range c.banks {
+		if r := c.banks[i].cur; r != nil && int(r.App) < nApps {
+			execCount[r.App]++
+			targetMask[r.App] |= 1 << uint(i)
+			busyMask[r.App] |= 1 << uint(i)
+			anyBusy |= 1 << uint(i)
+		}
+	}
+	for bi := range c.queues {
+		b := uint64(1) << uint(bi)
+		for _, r := range c.queues[bi] {
+			if int(r.App) < nApps {
+				targetMask[r.App] |= b
+				queuedMask[r.App] |= b
+			}
+		}
+	}
+	for a := 0; a < nApps; a++ {
+		if c.outstanding[a] == 0 {
+			continue
+		}
+		ac := &c.apps[a]
+		ac.BLPSamples++
+		ac.BLPAccessSum += uint64(execCount[a])
+		ac.BLPSum += uint64(popcount(targetMask[a]))
+		// Banks the app waits on that are busy with someone else's work.
+		blockedByOther := queuedMask[a] & anyBusy &^ busyMask[a]
+		ac.BLPBlockedSum += uint64(popcount(blockedByOther))
+	}
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,331 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dasesim/internal/config"
+	"dasesim/internal/memreq"
+)
+
+func testSetup() (config.MemConfig, memreq.AddrMap) {
+	cfg := config.Default().Mem
+	amap := memreq.NewAddrMap(128, 1, cfg.NumBanks, cfg.RowBytes) // single partition
+	return cfg, amap
+}
+
+// runUntil advances the controller until the predicate holds or the cycle
+// budget runs out, returning the cycle count used.
+func runUntil(c *Controller, limit uint64, done func() bool) uint64 {
+	var now uint64
+	for ; now < limit; now++ {
+		c.Cycle(now)
+		if done() {
+			return now
+		}
+	}
+	return now
+}
+
+func TestSingleRequestClosedRowTiming(t *testing.T) {
+	cfg, amap := testSetup()
+	c := NewController(cfg, amap, 0, 1)
+	r := &memreq.Request{App: 0, Addr: 0}
+	c.Enqueue(r)
+	var replies []*memreq.Request
+	end := runUntil(c, 1000, func() bool {
+		replies = append(replies, c.Replies()...)
+		return len(replies) == 1
+	})
+	// Closed row: the request is scheduled at cycle 0 and its data
+	// completes tRCD + tCAS + tBurst cycles later; the completion scan at
+	// the start of that Cycle call delivers the reply.
+	want := cfg.TRCD + cfg.TCAS + cfg.TBurst
+	if end != want {
+		t.Fatalf("closed-row service took %d cycles, want %d", end, want)
+	}
+	if got := c.Counters(0).Served; got != 1 {
+		t.Fatalf("served = %d", got)
+	}
+}
+
+func TestRowHitFasterThanConflict(t *testing.T) {
+	cfg, amap := testSetup()
+
+	serve2 := func(second uint64) uint64 {
+		c := NewController(cfg, amap, 0, 1)
+		c.Enqueue(&memreq.Request{App: 0, Addr: 0})
+		c.Enqueue(&memreq.Request{App: 0, Addr: second})
+		served := 0
+		return runUntil(c, 4000, func() bool {
+			served += len(c.Replies())
+			return served == 2
+		})
+	}
+
+	sameRow := serve2(128)                               // next line, same row
+	conflict := serve2(uint64(cfg.RowBytes) * 16 * 1024) // far away: same bank risk low; compute a real conflict below
+
+	// Find an address that maps to bank 0 like addr 0 but another row.
+	var conflictAddr uint64
+	for a := uint64(1); ; a++ {
+		addr := a * 128
+		if amap.Bank(addr) == amap.Bank(0) && amap.Row(addr) != amap.Row(0) {
+			conflictAddr = addr
+			break
+		}
+	}
+	conflict = serve2(conflictAddr)
+
+	if sameRow >= conflict {
+		t.Fatalf("row hit (%d cycles) not faster than conflict (%d cycles)", sameRow, conflict)
+	}
+}
+
+func TestFRFCFSPrefersRowHit(t *testing.T) {
+	cfg, amap := testSetup()
+	c := NewController(cfg, amap, 0, 2)
+	// Open a row with app 0's request.
+	first := &memreq.Request{App: 0, Addr: 0}
+	c.Enqueue(first)
+	served := 0
+	runUntil(c, 1000, func() bool {
+		served += len(c.Replies())
+		return served == 1
+	})
+	// Two candidates in the same bank: app 1 older (row conflict), app 0
+	// newer (row hit). FR-FCFS must serve the row hit first.
+	var conflictAddr uint64
+	for a := uint64(1); ; a++ {
+		addr := a * 128
+		if amap.Bank(addr) == amap.Bank(0) && amap.Row(addr) != amap.Row(0) {
+			conflictAddr = addr
+			break
+		}
+	}
+	older := &memreq.Request{App: 1, Addr: conflictAddr}
+	newer := &memreq.Request{App: 0, Addr: 128}
+	c.Enqueue(older)
+	c.Enqueue(newer)
+	var order []memreq.AppID
+	runUntil(c, 4000, func() bool {
+		for _, r := range c.Replies() {
+			order = append(order, r.App)
+		}
+		return len(order) == 2
+	})
+	if order[0] != 0 {
+		t.Fatalf("row-hit request should be served first, order=%v", order)
+	}
+	if c.Counters(0).RowHits == 0 {
+		t.Fatal("row hit not recorded")
+	}
+}
+
+func TestPriorityAppOverridesRowHit(t *testing.T) {
+	cfg, amap := testSetup()
+	c := NewController(cfg, amap, 0, 2)
+	c.SetPriorityApp(1)
+	if c.PriorityApp() != 1 {
+		t.Fatal("priority app not set")
+	}
+	first := &memreq.Request{App: 0, Addr: 0}
+	c.Enqueue(first)
+	served := 0
+	runUntil(c, 1000, func() bool {
+		served += len(c.Replies())
+		return served == 1
+	})
+	var conflictAddr uint64
+	for a := uint64(1); ; a++ {
+		addr := a * 128
+		if amap.Bank(addr) == amap.Bank(0) && amap.Row(addr) != amap.Row(0) {
+			conflictAddr = addr
+			break
+		}
+	}
+	c.Enqueue(&memreq.Request{App: 0, Addr: 128}) // row hit, app 0
+	c.Enqueue(&memreq.Request{App: 1, Addr: conflictAddr})
+	var order []memreq.AppID
+	runUntil(c, 4000, func() bool {
+		for _, r := range c.Replies() {
+			order = append(order, r.App)
+		}
+		return len(order) == 2
+	})
+	if order[0] != 1 {
+		t.Fatalf("prioritized app must be served first, order=%v", order)
+	}
+}
+
+func TestERBMissDetection(t *testing.T) {
+	cfg, amap := testSetup()
+	c := NewController(cfg, amap, 0, 2)
+	var conflictAddr uint64
+	for a := uint64(1); ; a++ {
+		addr := a * 128
+		if amap.Bank(addr) == amap.Bank(0) && amap.Row(addr) != amap.Row(0) {
+			conflictAddr = addr
+			break
+		}
+	}
+	serveOne := func(r *memreq.Request) {
+		c.Enqueue(r)
+		served := 0
+		runUntil(c, 4000, func() bool {
+			served += len(c.Replies())
+			return served == 1
+		})
+	}
+	serveOne(&memreq.Request{App: 0, Addr: 0})            // app 0 opens row R
+	serveOne(&memreq.Request{App: 1, Addr: conflictAddr}) // app 1 closes it
+	serveOne(&memreq.Request{App: 0, Addr: 128})          // app 0 re-opens R: extra row-buffer miss
+	if got := c.Counters(0).ERBMiss; got != 1 {
+		t.Fatalf("ERBMiss = %d, want 1", got)
+	}
+	if got := c.Counters(1).ERBMiss; got != 0 {
+		t.Fatalf("app 1 ERBMiss = %d, want 0", got)
+	}
+}
+
+func TestActivationThrottling(t *testing.T) {
+	cfg, amap := testSetup()
+	// All requests to different rows/banks: every one needs an ACT, so the
+	// tFAW window (4 ACTs / TFAW cycles) bounds throughput.
+	c := NewController(cfg, amap, 0, 1)
+	queued := 0
+	served := 0
+	var now uint64
+	budget := uint64(6000)
+	for ; now < budget; now++ {
+		for c.CanAccept() && queued < 400 {
+			// Stride by rows so every request misses.
+			c.Enqueue(&memreq.Request{App: 0, Addr: uint64(queued) * uint64(cfg.RowBytes)})
+			queued++
+		}
+		c.Cycle(now)
+		served += len(c.Replies())
+	}
+	maxByFAW := float64(budget) / float64(cfg.TFAW) * 4
+	if float64(served) > maxByFAW*1.1 {
+		t.Fatalf("served %d all-miss requests in %d cycles, tFAW bound is ~%.0f", served, budget, maxByFAW)
+	}
+	if served == 0 {
+		t.Fatal("nothing served")
+	}
+}
+
+func TestBandwidthAccountingIdentity(t *testing.T) {
+	cfg, amap := testSetup()
+	c := NewController(cfg, amap, 0, 1)
+	queued, served := 0, 0
+	var now uint64
+	for ; now < 5000; now++ {
+		for c.CanAccept() && queued < 300 {
+			c.Enqueue(&memreq.Request{App: 0, Addr: uint64(queued) * 128})
+			queued++
+		}
+		c.Cycle(now)
+		served += len(c.Replies())
+	}
+	bus := c.Bus()
+	data := c.Counters(0).DataBusCycles
+	if bus.Cycles != now {
+		t.Fatalf("bus cycles %d != %d", bus.Cycles, now)
+	}
+	wasted := bus.Wasted(data)
+	if data+wasted+bus.Idle > bus.Cycles {
+		t.Fatalf("decomposition exceeds total: data=%d wasted=%d idle=%d cycles=%d",
+			data, wasted, bus.Idle, bus.Cycles)
+	}
+	if data == 0 {
+		t.Fatal("no data cycles accounted")
+	}
+	if data != uint64(served+boundInService(c))*cfg.TBurst && data < uint64(served)*cfg.TBurst {
+		t.Fatalf("data cycles %d inconsistent with %d served * %d burst", data, served, cfg.TBurst)
+	}
+}
+
+// boundInService counts requests scheduled into banks but not completed.
+func boundInService(c *Controller) int {
+	n := 0
+	for i := range c.banks {
+		if c.banks[i].cur != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func TestBLPCounters(t *testing.T) {
+	cfg, amap := testSetup()
+	c := NewController(cfg, amap, 0, 2)
+	// Load many app-0 requests across banks plus a few app-1 ones.
+	for i := 0; i < 64; i++ {
+		c.Enqueue(&memreq.Request{App: 0, Addr: uint64(i) * uint64(cfg.RowBytes)})
+	}
+	for i := 0; i < 8; i++ {
+		c.Enqueue(&memreq.Request{App: 1, Addr: uint64(i+64) * uint64(cfg.RowBytes)})
+	}
+	for now := uint64(0); now < 2000; now++ {
+		c.Cycle(now)
+		c.Replies()
+	}
+	c0, c1 := c.Counters(0), c.Counters(1)
+	if c0.BLPSamples == 0 || c1.BLPSamples == 0 {
+		t.Fatal("no BLP samples taken")
+	}
+	if c0.BLP() <= 0 || c0.BLP() > float64(cfg.NumBanks) {
+		t.Fatalf("BLP out of range: %v", c0.BLP())
+	}
+	if c0.BLPAccess() > c0.BLP()+1e-9 {
+		t.Fatalf("BLPAccess %v exceeds BLP %v", c0.BLPAccess(), c0.BLP())
+	}
+	if c1.BLPBlocked() <= 0 {
+		t.Fatal("app 1 must observe banks blocked by app 0")
+	}
+}
+
+func TestOutstandingAndResetCounters(t *testing.T) {
+	cfg, amap := testSetup()
+	c := NewController(cfg, amap, 0, 1)
+	c.Enqueue(&memreq.Request{App: 0, Addr: 0})
+	if c.Outstanding(0) != 1 || c.QueueLen() != 1 {
+		t.Fatal("outstanding/queue accounting broken")
+	}
+	served := 0
+	runUntil(c, 1000, func() bool {
+		served += len(c.Replies())
+		return served == 1
+	})
+	if c.Outstanding(0) != 0 {
+		t.Fatal("outstanding not decremented on completion")
+	}
+	c.ResetCounters()
+	if c.Counters(0).Served != 0 || c.Bus().Cycles != 0 {
+		t.Fatal("counters survived reset")
+	}
+}
+
+// TestAllRequestsEventuallyServedProperty: any batch of requests drains.
+func TestAllRequestsEventuallyServedProperty(t *testing.T) {
+	cfg, amap := testSetup()
+	f := func(seeds []uint16) bool {
+		if len(seeds) > 100 {
+			seeds = seeds[:100]
+		}
+		c := NewController(cfg, amap, 0, 2)
+		for i, s := range seeds {
+			c.Enqueue(&memreq.Request{App: memreq.AppID(i % 2), Addr: uint64(s) * 128})
+		}
+		served := 0
+		for now := uint64(0); now < 100_000 && served < len(seeds); now++ {
+			c.Cycle(now)
+			served += len(c.Replies())
+		}
+		return served == len(seeds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

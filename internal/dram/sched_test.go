@@ -1,0 +1,194 @@
+package dram
+
+import (
+	"testing"
+
+	"dasesim/internal/config"
+	"dasesim/internal/memreq"
+)
+
+// rowConflictAddrs returns n addresses that all map to bank 0 but to n
+// distinct rows (guaranteed pairwise conflicts).
+func rowConflictAddrs(amap memreq.AddrMap, n int) []uint64 {
+	var out []uint64
+	rows := map[uint64]bool{}
+	for a := uint64(0); len(out) < n; a += 128 {
+		if amap.Bank(a) == 0 && !rows[amap.Row(a)] {
+			rows[amap.Row(a)] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// sameRowAddrs returns n addresses in bank 0, all in one row.
+func sameRowAddrs(amap memreq.AddrMap, n int) []uint64 {
+	var base uint64
+	for a := uint64(0); ; a += 128 {
+		if amap.Bank(a) == 0 {
+			base = a
+			break
+		}
+	}
+	row := amap.Row(base)
+	out := []uint64{base}
+	for a := base + 128; len(out) < n; a += 128 {
+		if amap.Bank(a) == 0 && amap.Row(a) == row {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// TestAppAwareRRAlternates: with app-aware round-robin, a row-hit-rich app
+// cannot monopolize a bank against a row-conflicting app.
+func TestAppAwareRRAlternates(t *testing.T) {
+	cfg := config.Default().Mem
+	amap := memreq.NewAddrMap(128, 1, cfg.NumBanks, cfg.RowBytes)
+
+	run := func(appRR bool) (app0First20, app1First20 int) {
+		c := cfg
+		c.AppAwareRR = appRR
+		ctl := NewController(c, amap, 0, 2)
+		// App 0: stream of row hits in bank 0. App 1: row conflicts in
+		// bank 0.
+		hits := sameRowAddrs(amap, 12)
+		confl := rowConflictAddrs(amap, 12)
+		for i := 0; i < 12; i++ {
+			ctl.Enqueue(&memreq.Request{App: 0, Addr: hits[i]})
+			ctl.Enqueue(&memreq.Request{App: 1, Addr: confl[i]})
+		}
+		var order []memreq.AppID
+		for now := uint64(0); now < 20_000 && len(order) < 20; now++ {
+			ctl.Cycle(now)
+			for _, r := range ctl.Replies() {
+				order = append(order, r.App)
+			}
+		}
+		for _, a := range order {
+			if a == 0 {
+				app0First20++
+			} else {
+				app1First20++
+			}
+		}
+		return
+	}
+
+	_, rrApp1 := run(true)
+	_, frApp1 := run(false)
+	if rrApp1 <= frApp1 {
+		t.Fatalf("app-aware RR should serve the conflict-bound app more: rr=%d frfcfs=%d", rrApp1, frApp1)
+	}
+	if rrApp1 < 8 {
+		t.Fatalf("app-aware RR should roughly alternate, app1 got only %d of 20", rrApp1)
+	}
+}
+
+// TestRefreshClosesRowsAndCostsTime verifies refresh timing and the
+// row-buffer side effect.
+func TestRefreshClosesRowsAndCostsTime(t *testing.T) {
+	cfg := config.Default().Mem
+	cfg.TREFI = 2_000
+	cfg.TRFC = 300
+	amap := memreq.NewAddrMap(128, 1, cfg.NumBanks, cfg.RowBytes)
+	c := NewController(cfg, amap, 0, 1)
+	addrs := sameRowAddrs(amap, 2)
+
+	// Serve one request to open the row.
+	c.Enqueue(&memreq.Request{App: 0, Addr: addrs[0]})
+	served := 0
+	now := uint64(0)
+	for ; served < 1; now++ {
+		c.Cycle(now)
+		served += len(c.Replies())
+	}
+
+	// Advance past the refresh deadline.
+	for ; now < 2_500; now++ {
+		c.Cycle(now)
+	}
+	if c.Refreshes == 0 {
+		t.Fatal("no refresh performed")
+	}
+
+	// Same-row access after refresh must be a row MISS (row closed).
+	c.Enqueue(&memreq.Request{App: 0, Addr: addrs[1]})
+	for served = 0; served < 1; now++ {
+		c.Cycle(now)
+		served += len(c.Replies())
+	}
+	cnt := c.Counters(0)
+	if cnt.RowHits != 0 {
+		t.Fatalf("row survived refresh: hits=%d misses=%d", cnt.RowHits, cnt.RowMisses)
+	}
+}
+
+// TestRefreshThroughputCost: under saturation, enabling refresh must reduce
+// served throughput by roughly TRFC/TREFI.
+func TestRefreshThroughputCost(t *testing.T) {
+	base := config.Default().Mem
+	amap := memreq.NewAddrMap(128, 1, base.NumBanks, base.RowBytes)
+	serve := func(cfg config.MemConfig) int {
+		c := NewController(cfg, amap, 0, 1)
+		queued, served := 0, 0
+		for now := uint64(0); now < 30_000; now++ {
+			for c.CanAccept() && queued < 10_000 {
+				c.Enqueue(&memreq.Request{App: 0, Addr: uint64(queued) * 128})
+				queued++
+			}
+			c.Cycle(now)
+			served += len(c.Replies())
+		}
+		return served
+	}
+	without := serve(base)
+	withRefresh := base
+	withRefresh.TREFI = 2_000
+	withRefresh.TRFC = 400 // 20% refresh overhead, exaggerated for signal
+	with := serve(withRefresh)
+	if with >= without {
+		t.Fatalf("refresh did not cost throughput: %d vs %d", with, without)
+	}
+	if float64(with) < float64(without)*0.6 {
+		t.Fatalf("refresh cost too much: %d vs %d", with, without)
+	}
+}
+
+// TestPriorityAppWithNoRequestsDoesNotStarveOthers: setting the priority
+// app to one with an empty queue must not block the other apps' service.
+func TestPriorityAppWithNoRequestsDoesNotStarveOthers(t *testing.T) {
+	cfg := config.Default().Mem
+	amap := memreq.NewAddrMap(128, 1, cfg.NumBanks, cfg.RowBytes)
+	c := NewController(cfg, amap, 0, 2)
+	c.SetPriorityApp(1) // app 1 never enqueues anything
+	for i := 0; i < 8; i++ {
+		c.Enqueue(&memreq.Request{App: 0, Addr: uint64(i) * 128})
+	}
+	served := 0
+	for now := uint64(0); now < 5000 && served < 8; now++ {
+		c.Cycle(now)
+		served += len(c.Replies())
+	}
+	if served != 8 {
+		t.Fatalf("served %d of 8 with an idle priority app", served)
+	}
+}
+
+// TestAppAwareRRSingleAppDegeneratesToFRFCFS: with one app, the RR scheduler
+// must behave like plain FR-FCFS.
+func TestAppAwareRRSingleAppDegeneratesToFRFCFS(t *testing.T) {
+	cfg := config.Default().Mem
+	cfg.AppAwareRR = true
+	amap := memreq.NewAddrMap(128, 1, cfg.NumBanks, cfg.RowBytes)
+	c := NewController(cfg, amap, 0, 1)
+	c.Enqueue(&memreq.Request{App: 0, Addr: 0})
+	served := 0
+	for now := uint64(0); now < 1000 && served == 0; now++ {
+		c.Cycle(now)
+		served += len(c.Replies())
+	}
+	if served != 1 {
+		t.Fatal("single-app RR failed to serve")
+	}
+}

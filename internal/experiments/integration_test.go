@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"testing"
+
+	"dasesim/internal/workload"
+)
+
+func tinyParams() Params {
+	p := DefaultParams()
+	p.SharedCycles = 30_000
+	p.Cfg.IntervalCycles = 10_000
+	p.PairSample = 2
+	p.QuadCount = 1
+	p.Fig9Cycles = 30_000
+	return p
+}
+
+func TestFig2aIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	p := tinyParams()
+	cache := workload.NewAloneCache(p.Cfg, p.SharedCycles, p.Seed)
+	rows, err := Fig2a(p, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig2Pairs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Unfairness < 1 {
+			t.Fatalf("%s unfairness %v < 1", r.Workload, r.Unfairness)
+		}
+	}
+	if RenderFig2a(rows).String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFig2bIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	p := tinyParams()
+	cache := workload.NewAloneCache(p.Cfg, p.SharedCycles, p.Seed)
+	rows, err := Fig2b(p, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		sum := r.VictimShare + r.OtherShare + r.Wasted + r.Idle
+		if sum < 0.9 || sum > 1.05 {
+			t.Fatalf("%s decomposition sums to %v", r.Workload, sum)
+		}
+	}
+	if RenderFig2b(rows).String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFig3Integration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	p := tinyParams()
+	rows, corr, err := Fig3(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The paper's core observation: performance is directly proportional
+	// to the request service rate for a memory-intensive kernel.
+	if corr < 0.95 {
+		t.Fatalf("service-rate/IPC correlation %v, want near 1", corr)
+	}
+	if RenderFig3(rows, corr).String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFig4Integration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	p := tinyParams()
+	cache := workload.NewAloneCache(p.Cfg, p.SharedCycles, p.Seed)
+	rows, err := Fig4(p, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The MBB observation: shared sum within 40% of alone.
+		ratio := r.SharedSum / r.AloneRate
+		if ratio < 0.6 || ratio > 1.4 {
+			t.Fatalf("partner %s: shared sum/alone = %v, MBB observation broken", r.Partner, ratio)
+		}
+	}
+	if RenderFig4(rows).String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestTableIIIIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	p := tinyParams()
+	p.SharedCycles = 60_000 // calibration needs a little longer
+	rows, err := TableIII(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeasBW <= 0 || r.MeasBW > 1 {
+			t.Fatalf("%s measured BW %v", r.Abbr, r.MeasBW)
+		}
+		// Calibration contract: within 12 percentage points of Table III
+		// even at this reduced budget.
+		diff := r.MeasBW - r.PaperBW
+		if diff < -0.12 || diff > 0.12 {
+			t.Errorf("%s measured %.3f vs paper %.3f (out of band)", r.Abbr, r.MeasBW, r.PaperBW)
+		}
+	}
+}
+
+func TestExtSchedulersIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	p := tinyParams()
+	cache := workload.NewAloneCache(p.Cfg, p.SharedCycles, p.Seed)
+	rows, err := ExtSchedulers(p, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig2Pairs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if RenderExtSchedulers(rows).String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestExtEstimatorsIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	p := tinyParams()
+	cache := workload.NewAloneCache(p.Cfg, p.SharedCycles, p.Seed)
+	res, err := ExtEstimators(p, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evals) != p.PairSample {
+		t.Fatalf("evals = %d", len(res.Evals))
+	}
+	if _, ok := res.MeanError["Profiled"]; !ok {
+		t.Fatal("Profiled estimator missing from results")
+	}
+	if RenderExtEstimators(res).String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFig9Integration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	p := tinyParams()
+	// Shrink to a couple of pairs by shortening the budget; the full
+	// workload list still runs, so keep the budget tiny.
+	p.Fig9Cycles = 20_000
+	p.SharedCycles = 20_000
+	cache := workload.NewAloneCache(p.Cfg, p.SharedCycles, p.Seed)
+	res, err := Fig9(p, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 91 { // C(14,2): SN excluded
+		t.Fatalf("rows = %d, want 91", len(res.Rows))
+	}
+	if RenderFig9(res).String() == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,143 @@
+// Package icnt models the SM <-> memory-partition crossbar of Table II: one
+// crossbar per direction, fixed traversal latency, and per-port serialization
+// bandwidth (32-byte flits). Requests are single-flit command packets; read
+// replies carry a 128-byte line and occupy their injection port for several
+// flit cycles, which is what makes reply bandwidth a contended resource.
+package icnt
+
+import (
+	"dasesim/internal/config"
+	"dasesim/internal/memreq"
+)
+
+type entry struct {
+	req     *memreq.Request
+	arrives uint64
+}
+
+// fifo is a bounded queue of in-flight packets ordered by send time.
+type fifo struct {
+	items []entry
+	head  int
+	depth int
+}
+
+func newFifo(depth int) fifo {
+	return fifo{items: make([]entry, 0, depth), depth: depth}
+}
+
+func (f *fifo) len() int { return len(f.items) - f.head }
+
+func (f *fifo) full() bool { return f.len() >= f.depth }
+
+func (f *fifo) push(r *memreq.Request, arrives uint64) {
+	if f.head > 0 && f.head == len(f.items) {
+		f.items = f.items[:0]
+		f.head = 0
+	}
+	f.items = append(f.items, entry{r, arrives})
+}
+
+// pop returns the head packet if it has arrived by now.
+func (f *fifo) pop(now uint64) *memreq.Request {
+	if f.head >= len(f.items) {
+		return nil
+	}
+	e := f.items[f.head]
+	if e.arrives > now {
+		return nil
+	}
+	f.head++
+	if f.head == len(f.items) {
+		f.items = f.items[:0]
+		f.head = 0
+	}
+	return e.req
+}
+
+// peek reports whether a packet is available at now without removing it.
+func (f *fifo) peek(now uint64) bool {
+	return f.head < len(f.items) && f.items[f.head].arrives <= now
+}
+
+// ICNT is the two-direction crossbar.
+type ICNT struct {
+	cfg config.ICNTConfig
+
+	toMem []fifo // one per memory partition
+	toSM  []fifo // one per SM
+
+	memPortFree []uint64 // per-partition reply-injection port next-free cycle
+	smPortFree  []uint64 // per-SM request-injection port next-free cycle
+
+	replyFlits uint64 // serialization cycles for a data reply
+	reqFlits   uint64 // serialization cycles for a request packet
+
+	// Stats
+	ReqSent, RepSent uint64
+}
+
+// New builds a crossbar connecting numSMs SMs to numParts partitions,
+// moving lineBytes-sized reply payloads.
+func New(cfg config.ICNTConfig, numSMs, numParts, lineBytes int) *ICNT {
+	ic := &ICNT{
+		cfg:         cfg,
+		toMem:       make([]fifo, numParts),
+		toSM:        make([]fifo, numSMs),
+		memPortFree: make([]uint64, numParts),
+		smPortFree:  make([]uint64, numSMs),
+	}
+	for i := range ic.toMem {
+		ic.toMem[i] = newFifo(cfg.InQueueDepth)
+	}
+	for i := range ic.toSM {
+		ic.toSM[i] = newFifo(cfg.OutQueueDepth)
+	}
+	ic.reqFlits = uint64((cfg.RequestBytes + cfg.FlitBytes - 1) / cfg.FlitBytes)
+	ic.replyFlits = uint64((lineBytes + cfg.RequestBytes + cfg.FlitBytes - 1) / cfg.FlitBytes)
+	return ic
+}
+
+// CanSendToMem reports whether partition part can accept another request.
+func (ic *ICNT) CanSendToMem(part int) bool { return !ic.toMem[part].full() }
+
+// SendToMem injects a request from its SM toward partition part at cycle
+// now. The caller must have checked CanSendToMem.
+func (ic *ICNT) SendToMem(part int, r *memreq.Request, now uint64) {
+	start := now
+	if ic.smPortFree[r.SM] > start {
+		start = ic.smPortFree[r.SM]
+	}
+	ic.smPortFree[r.SM] = start + ic.reqFlits
+	ic.toMem[part].push(r, start+ic.reqFlits+ic.cfg.Latency)
+	ic.ReqSent++
+}
+
+// RecvAtMem pops the next request that has reached partition part by now,
+// or nil.
+func (ic *ICNT) RecvAtMem(part int, now uint64) *memreq.Request {
+	return ic.toMem[part].pop(now)
+}
+
+// PeekAtMem reports whether a request is waiting at partition part.
+func (ic *ICNT) PeekAtMem(part int, now uint64) bool { return ic.toMem[part].peek(now) }
+
+// CanSendToSM reports whether the reply queue toward the SM has room.
+func (ic *ICNT) CanSendToSM(sm int) bool { return !ic.toSM[sm].full() }
+
+// SendToSM injects a data reply from partition part toward the request's SM.
+// The caller must have checked CanSendToSM.
+func (ic *ICNT) SendToSM(part int, r *memreq.Request, now uint64) {
+	start := now
+	if ic.memPortFree[part] > start {
+		start = ic.memPortFree[part]
+	}
+	ic.memPortFree[part] = start + ic.replyFlits
+	ic.toSM[r.SM].push(r, start+ic.replyFlits+ic.cfg.Latency)
+	ic.RepSent++
+}
+
+// RecvAtSM pops the next reply that has reached the SM by now, or nil.
+func (ic *ICNT) RecvAtSM(sm int, now uint64) *memreq.Request {
+	return ic.toSM[sm].pop(now)
+}

@@ -1,0 +1,132 @@
+package icnt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dasesim/internal/config"
+	"dasesim/internal/memreq"
+)
+
+func newTest() *ICNT {
+	cfg := config.Default().ICNT
+	return New(cfg, 4, 2, 128)
+}
+
+func TestRequestLatency(t *testing.T) {
+	ic := newTest()
+	cfg := config.Default().ICNT
+	r := &memreq.Request{App: 0, SM: 1, Addr: 0x80}
+	ic.SendToMem(0, r, 10)
+	// One request flit + fixed latency.
+	arrive := 10 + 1 + cfg.Latency
+	if got := ic.RecvAtMem(0, arrive-1); got != nil {
+		t.Fatal("request arrived early")
+	}
+	if got := ic.RecvAtMem(0, arrive); got != r {
+		t.Fatalf("request not delivered at %d", arrive)
+	}
+	if got := ic.RecvAtMem(0, arrive+1); got != nil {
+		t.Fatal("request delivered twice")
+	}
+}
+
+func TestReplySerialization(t *testing.T) {
+	ic := newTest()
+	cfg := config.Default().ICNT
+	// Two replies from the same partition to the same SM: the second is
+	// serialized behind the first on the injection port.
+	r1 := &memreq.Request{SM: 0, Addr: 0x80}
+	r2 := &memreq.Request{SM: 0, Addr: 0x100}
+	ic.SendToSM(0, r1, 0)
+	ic.SendToSM(0, r2, 0)
+	flits := uint64((128 + cfg.RequestBytes + cfg.FlitBytes - 1) / cfg.FlitBytes)
+	first := flits + cfg.Latency
+	second := 2*flits + cfg.Latency
+	if got := ic.RecvAtSM(0, first); got != r1 {
+		t.Fatalf("first reply not delivered at %d", first)
+	}
+	if got := ic.RecvAtSM(0, second-1); got != nil {
+		t.Fatal("second reply not serialized")
+	}
+	if got := ic.RecvAtSM(0, second); got != r2 {
+		t.Fatalf("second reply not delivered at %d", second)
+	}
+}
+
+func TestQueueBounds(t *testing.T) {
+	cfg := config.Default().ICNT
+	cfg.InQueueDepth = 2
+	ic := New(cfg, 1, 1, 128)
+	if !ic.CanSendToMem(0) {
+		t.Fatal("empty queue should accept")
+	}
+	ic.SendToMem(0, &memreq.Request{Addr: 0x80}, 0)
+	ic.SendToMem(0, &memreq.Request{Addr: 0x100}, 0)
+	if ic.CanSendToMem(0) {
+		t.Fatal("full queue should refuse")
+	}
+	// Draining frees space.
+	for now := uint64(0); now < 100; now++ {
+		if ic.RecvAtMem(0, now) != nil && ic.CanSendToMem(0) {
+			return
+		}
+	}
+	t.Fatal("queue never drained")
+}
+
+func TestFIFOOrderProperty(t *testing.T) {
+	cfg := config.Default().ICNT
+	cfg.InQueueDepth = 64
+	f := func(n uint8) bool {
+		count := int(n%32) + 1
+		ic := New(cfg, 1, 1, 128)
+		var sent []*memreq.Request
+		for i := 0; i < count; i++ {
+			r := &memreq.Request{Addr: uint64(i) * 128, Warp: i}
+			ic.SendToMem(0, r, uint64(i))
+			sent = append(sent, r)
+		}
+		var got []*memreq.Request
+		for now := uint64(0); now < 10000 && len(got) < count; now++ {
+			if r := ic.RecvAtMem(0, now); r != nil {
+				got = append(got, r)
+			}
+		}
+		if len(got) != count {
+			return false
+		}
+		for i := range got {
+			if got[i] != sent[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	ic := newTest()
+	if ic.PeekAtMem(0, 100) {
+		t.Fatal("peek on empty queue")
+	}
+	ic.SendToMem(0, &memreq.Request{Addr: 0x80}, 0)
+	if ic.PeekAtMem(0, 0) {
+		t.Fatal("peek before arrival")
+	}
+	if !ic.PeekAtMem(0, 100) {
+		t.Fatal("peek after arrival")
+	}
+}
+
+func TestStats(t *testing.T) {
+	ic := newTest()
+	ic.SendToMem(0, &memreq.Request{Addr: 0x80}, 0)
+	ic.SendToSM(0, &memreq.Request{SM: 0, Addr: 0x80}, 0)
+	if ic.ReqSent != 1 || ic.RepSent != 1 {
+		t.Fatalf("stats: req=%d rep=%d", ic.ReqSent, ic.RepSent)
+	}
+}

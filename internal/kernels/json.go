@@ -1,0 +1,49 @@
+package kernels
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// FromJSON parses a list of kernel profiles (the Profile struct's exported
+// fields are the schema; Pattern is the numeric enum: 0 = BlockStream,
+// 1 = Scatter, 2 = Strided). Every profile is validated.
+func FromJSON(data []byte) ([]Profile, error) {
+	var ps []Profile
+	if err := json.Unmarshal(data, &ps); err != nil {
+		return nil, fmt.Errorf("kernels: parse: %w", err)
+	}
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("kernels: empty profile list")
+	}
+	seen := map[string]bool{}
+	for i := range ps {
+		if ps[i].Abbr == "" {
+			return nil, fmt.Errorf("kernels: profile %d has no Abbr", i)
+		}
+		if seen[ps[i].Abbr] {
+			return nil, fmt.Errorf("kernels: duplicate abbreviation %q", ps[i].Abbr)
+		}
+		seen[ps[i].Abbr] = true
+		if err := ps[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return ps, nil
+}
+
+// LoadFile reads kernel profiles from a JSON file.
+func LoadFile(path string) ([]Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: %w", err)
+	}
+	return FromJSON(data)
+}
+
+// ToJSON serialises profiles (e.g. to bootstrap a custom workload file from
+// the Table III set).
+func ToJSON(ps []Profile) ([]byte, error) {
+	return json.MarshalIndent(ps, "", "  ")
+}

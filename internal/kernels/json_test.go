@@ -1,0 +1,73 @@
+package kernels
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestKernelsJSONRoundTrip(t *testing.T) {
+	data, err := ToJSON(All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 15 {
+		t.Fatalf("round trip lost kernels: %d", len(got))
+	}
+	for i, p := range All() {
+		if got[i] != p {
+			t.Fatalf("kernel %s changed in round trip", p.Abbr)
+		}
+	}
+}
+
+func TestKernelsFromJSONRejectsBadInput(t *testing.T) {
+	if _, err := FromJSON([]byte("[]")); err == nil {
+		t.Fatal("empty list accepted")
+	}
+	if _, err := FromJSON([]byte("{bad")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	// Duplicate abbreviations.
+	dup := []Profile{table3[0], table3[0]}
+	data, _ := ToJSON(dup)
+	if _, err := FromJSON(data); err == nil {
+		t.Fatal("duplicate abbreviation accepted")
+	}
+	// Invalid profile.
+	bad := table3[0]
+	bad.ComputeLat = 0
+	data, _ = ToJSON([]Profile{bad})
+	if _, err := FromJSON(data); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+	// Missing Abbr.
+	anon := table3[0]
+	anon.Abbr = ""
+	data, _ = ToJSON([]Profile{anon})
+	if _, err := FromJSON(data); err == nil {
+		t.Fatal("profile without Abbr accepted")
+	}
+}
+
+func TestKernelsLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kernels.json")
+	data, _ := ToJSON(All()[:3])
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("loaded %d kernels", len(got))
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

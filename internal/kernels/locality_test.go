@@ -1,0 +1,122 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestBlockStreamConsecutiveAccessesAdjacent: with ScatterFrac 0, a warp's
+// consecutive memory accesses within one region advance by a fixed stride
+// (warps-per-block x coalesced lines), preserving spatial locality.
+func TestBlockStreamConsecutiveAccessesAdjacent(t *testing.T) {
+	p, _ := ByAbbr("VA")
+	p.ScatterFrac = 0
+	ws := NewWarpStream(&p, 0, 3, 2, 11)
+	var op Op
+	var lines []uint64
+	for len(lines) < int(4) {
+		if !ws.Next(&op) {
+			t.Fatal("stream exhausted early")
+		}
+		if op.Mem {
+			lines = append(lines, op.Lines[0]/LineBytes)
+		}
+	}
+	stride := uint64(p.WarpsPerBlock * p.CoalescedLines)
+	adjacent := 0
+	for i := 1; i < len(lines); i++ {
+		if lines[i] == lines[i-1]+stride {
+			adjacent++
+		}
+	}
+	// At least 2 of 3 transitions stay within the region (one may cross a
+	// region boundary).
+	if adjacent < 2 {
+		t.Fatalf("only %d of %d transitions were stride-adjacent: %v", adjacent, len(lines)-1, lines)
+	}
+}
+
+// TestScatterFracZeroOneBounds: ScatterFrac 0 must never take the scatter
+// path; ScatterFrac 1 must always take it. Distinguish by the block-level
+// adjacency property.
+func TestScatterFracBounds(t *testing.T) {
+	base, _ := ByAbbr("VA")
+
+	firstMemLine := func(p Profile, warp int) uint64 {
+		ws := NewWarpStream(&p, 0, 9, warp, 5)
+		var op Op
+		for ws.Next(&op) {
+			if op.Mem {
+				return op.Lines[0] / LineBytes
+			}
+		}
+		t.Fatal("no memory op")
+		return 0
+	}
+
+	p0 := base
+	p0.ScatterFrac = 0
+	d0 := int64(firstMemLine(p0, 1)) - int64(firstMemLine(p0, 0))
+	if d0 != int64(p0.CoalescedLines) {
+		t.Fatalf("pure stream warp distance %d, want %d", d0, p0.CoalescedLines)
+	}
+
+	p1 := base
+	p1.ScatterFrac = 1
+	d1 := int64(firstMemLine(p1, 1)) - int64(firstMemLine(p1, 0))
+	if d1 < 0 {
+		d1 = -d1
+	}
+	if d1 <= int64(p1.CoalescedLines*p1.WarpsPerBlock) {
+		t.Fatalf("pure scatter warps landed adjacent (%d apart)", d1)
+	}
+}
+
+// TestWriteDecisionSharedAcrossBlock: all warps of a block must agree on
+// which access indices are stores (they execute the same code).
+func TestWriteDecisionSharedAcrossBlock(t *testing.T) {
+	p, _ := ByAbbr("SB")
+	p.ScatterFrac = 0
+	collect := func(warp int) []bool {
+		ws := NewWarpStream(&p, 0, 4, warp, 13)
+		var op Op
+		var writes []bool
+		for ws.Next(&op) {
+			if op.Mem {
+				writes = append(writes, op.Write)
+			}
+		}
+		return writes
+	}
+	w0, w1 := collect(0), collect(1)
+	if len(w0) == 0 || len(w0) != len(w1) {
+		t.Fatalf("write streams differ in length: %d vs %d", len(w0), len(w1))
+	}
+	for i := range w0 {
+		if w0[i] != w1[i] {
+			t.Fatalf("warps disagree on store at access %d", i)
+		}
+	}
+}
+
+// TestComputeLatencyProperty: every non-memory op carries the profile's
+// compute latency.
+func TestComputeLatencyProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		p, _ := ByAbbr("QR")
+		ws := NewWarpStream(&p, 0, uint64(seed), 0, uint64(seed))
+		var op Op
+		for i := 0; i < 200 && ws.Next(&op); i++ {
+			if !op.Mem && op.ComputeLat != uint32(p.ComputeLat) {
+				return false
+			}
+			if op.Mem && op.NLines != p.CoalescedLines {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package kernels
+
+import "testing"
+
+func stridedProfile() Profile {
+	return Profile{
+		Name: "transpose", Abbr: "TP",
+		MemFrac: 0.1, ComputeLat: 4, CoalescedLines: 1,
+		Pattern: Strided, StrideLines: 96, SeqRun: 8,
+		FootprintLines: 1 << 20,
+		WarpsPerBlock:  4, Blocks: 64, InstPerWarp: 500,
+	}
+}
+
+func TestStridedDeterministicWalk(t *testing.T) {
+	p := stridedProfile()
+	ws := NewWarpStream(&p, 0, 0, 1, 7)
+	var op Op
+	var lines []uint64
+	for ws.Next(&op) {
+		if op.Mem {
+			lines = append(lines, op.Lines[0]/LineBytes)
+		}
+		if len(lines) == 4 {
+			break
+		}
+	}
+	// Warp 1 of a 4-warp block: accesses (1 + n*4) * 96.
+	for n, l := range lines {
+		want := (1 + uint64(n)*4) * 96 % p.FootprintLines
+		if l != want {
+			t.Fatalf("access %d at line %d, want %d", n, l, want)
+		}
+	}
+}
+
+func TestStridedDefaultStride(t *testing.T) {
+	p := stridedProfile()
+	p.StrideLines = 0 // defaults to 64
+	ws := NewWarpStream(&p, 0, 0, 0, 7)
+	var op Op
+	for ws.Next(&op) {
+		if op.Mem {
+			if op.Lines[0] != 0 {
+				// warp 0, first access: line 0 regardless of stride
+				t.Fatalf("first strided access at %#x", op.Lines[0])
+			}
+			break
+		}
+	}
+}
+
+func TestStridedWarpsCoverDistinctColumns(t *testing.T) {
+	p := stridedProfile()
+	first := func(warp int) uint64 {
+		ws := NewWarpStream(&p, 0, 0, warp, 7)
+		var op Op
+		for ws.Next(&op) {
+			if op.Mem {
+				return op.Lines[0] / LineBytes
+			}
+		}
+		t.Fatal("no access")
+		return 0
+	}
+	if first(0) == first(1) || first(1) == first(2) {
+		t.Fatal("strided warps collided on a column")
+	}
+	if first(1)-first(0) != p.StrideLines {
+		t.Fatalf("warp stride %d, want %d", first(1)-first(0), p.StrideLines)
+	}
+}
+
+func TestStridedValidates(t *testing.T) {
+	p := stridedProfile()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Strided.String() != "strided" {
+		t.Fatal("pattern name")
+	}
+}

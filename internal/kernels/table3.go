@@ -1,0 +1,146 @@
+package kernels
+
+// The 15 applications of the paper's Table III. Each synthetic profile is
+// calibrated (see calibrate_test.go and cmd/experiments -run tableIII) so
+// that its alone DRAM-bandwidth utilisation on the Table II GPU lands near
+// the paper's measured utilisation (PaperBW), and so that the set spans the
+// behaviour classes the evaluation depends on:
+//
+//   - memory-bandwidth-bound streamers (SB, BS, AA, VA, SA, NN, SP, SC, AT)
+//   - a low-row-locality victim kernel (SD, srad: scattered stencil reads)
+//   - cache-sensitive kernels with L2-resident working sets (CT)
+//   - compute-heavy kernels (QR, BG)
+//   - a TLP-limited kernel with very few thread blocks (SN)
+var table3 = []Profile{
+	{
+		Name: "blackScholes", Abbr: "BS", PaperBW: 0.65,
+		MemFrac: 0.025, ComputeLat: 4, CoalescedLines: 4,
+		Pattern: BlockStream, ScatterFrac: 0.06, SeqRun: 16,
+		FootprintLines: 2 << 20, WriteFrac: 0.25,
+		WarpsPerBlock: 8, Blocks: 4096, InstPerWarp: 3000,
+	},
+	{
+		Name: "asyncAPI", Abbr: "AA", PaperBW: 0.61,
+		MemFrac: 0.025, ComputeLat: 4, CoalescedLines: 4,
+		Pattern: BlockStream, ScatterFrac: 0.107, SeqRun: 24,
+		FootprintLines: 2 << 20, WriteFrac: 0.30,
+		WarpsPerBlock: 8, Blocks: 4096, InstPerWarp: 3000,
+	},
+	{
+		Name: "convolutionTexture", Abbr: "CT", PaperBW: 0.16,
+		MemFrac: 0.012, ComputeLat: 4, CoalescedLines: 2,
+		Pattern: BlockStream, SeqRun: 8,
+		FootprintLines: 7000, WriteFrac: 0.10,
+		WarpsPerBlock: 8, Blocks: 4096, InstPerWarp: 3000,
+	},
+	{
+		Name: "convolutionSeparable", Abbr: "CS", PaperBW: 0.32,
+		MemFrac: 0.0084, ComputeLat: 5, CoalescedLines: 2,
+		Pattern: BlockStream, SeqRun: 16,
+		FootprintLines: 24_000, WriteFrac: 0.15,
+		WarpsPerBlock: 8, Blocks: 4096, InstPerWarp: 3000,
+	},
+	{
+		Name: "quasirandom", Abbr: "QR", PaperBW: 0.14,
+		MemFrac: 0.0059, ComputeLat: 8, CoalescedLines: 1,
+		Pattern: BlockStream, SeqRun: 12,
+		FootprintLines: 1 << 20, WriteFrac: 0.40,
+		WarpsPerBlock: 8, Blocks: 4096, InstPerWarp: 3000,
+	},
+	{
+		Name: "vectorAdd", Abbr: "VA", PaperBW: 0.60,
+		MemFrac: 0.025, ComputeLat: 4, CoalescedLines: 4,
+		Pattern: BlockStream, ScatterFrac: 0.15, SeqRun: 32,
+		FootprintLines: 2 << 20, WriteFrac: 0.33,
+		WarpsPerBlock: 8, Blocks: 4096, InstPerWarp: 3000,
+	},
+	{
+		Name: "sobol", Abbr: "SB", PaperBW: 0.68,
+		MemFrac: 0.025, ComputeLat: 4, CoalescedLines: 4,
+		Pattern: BlockStream, ScatterFrac: 0.045, SeqRun: 24,
+		FootprintLines: 2 << 20, WriteFrac: 0.40,
+		WarpsPerBlock: 8, Blocks: 4096, InstPerWarp: 3000,
+	},
+	{
+		Name: "scan", Abbr: "SA", PaperBW: 0.58,
+		MemFrac: 0.025, ComputeLat: 4, CoalescedLines: 4,
+		Pattern: BlockStream, ScatterFrac: 0.17, SeqRun: 24,
+		FootprintLines: 2 << 20, WriteFrac: 0.35,
+		WarpsPerBlock: 8, Blocks: 4096, InstPerWarp: 3000,
+	},
+	{
+		Name: "scalarProd", Abbr: "SP", PaperBW: 0.55,
+		MemFrac: 0.025, ComputeLat: 4, CoalescedLines: 4,
+		Pattern: BlockStream, ScatterFrac: 0.21, SeqRun: 16,
+		FootprintLines: 2 << 20, WriteFrac: 0.10,
+		WarpsPerBlock: 8, Blocks: 4096, InstPerWarp: 3000,
+	},
+	{
+		Name: "alignedTypes", Abbr: "AT", PaperBW: 0.47,
+		MemFrac: 0.025, ComputeLat: 4, CoalescedLines: 4,
+		Pattern: BlockStream, ScatterFrac: 0.48, SeqRun: 12,
+		FootprintLines: 2 << 20, WriteFrac: 0.45,
+		WarpsPerBlock: 8, Blocks: 4096, InstPerWarp: 3000,
+	},
+	{
+		Name: "sortingNetworks", Abbr: "SN", PaperBW: 0.20,
+		MemFrac: 0.013, ComputeLat: 4, CoalescedLines: 2,
+		Pattern: Scatter, SeqRun: 8,
+		FootprintLines: 1 << 18, WriteFrac: 0.50,
+		WarpsPerBlock: 8, Blocks: 24, InstPerWarp: 12_000,
+	},
+	{
+		Name: "stencil", Abbr: "SC", PaperBW: 0.53,
+		MemFrac: 0.025, ComputeLat: 4, CoalescedLines: 4,
+		Pattern: BlockStream, ScatterFrac: 0.26, SeqRun: 12,
+		FootprintLines: 2 << 20, WriteFrac: 0.20,
+		WarpsPerBlock: 8, Blocks: 4096, InstPerWarp: 3000,
+	},
+	{
+		Name: "BICG", Abbr: "BG", PaperBW: 0.21,
+		MemFrac: 0.0078, ComputeLat: 6, CoalescedLines: 1,
+		Pattern: BlockStream, SeqRun: 16,
+		FootprintLines: 1 << 19, WriteFrac: 0.15,
+		WarpsPerBlock: 8, Blocks: 4096, InstPerWarp: 3000,
+	},
+	{
+		Name: "Nn", Abbr: "NN", PaperBW: 0.56,
+		MemFrac: 0.025, ComputeLat: 4, CoalescedLines: 4,
+		Pattern: BlockStream, ScatterFrac: 0.19, SeqRun: 20,
+		FootprintLines: 2 << 20, WriteFrac: 0.20,
+		WarpsPerBlock: 8, Blocks: 4096, InstPerWarp: 3000,
+	},
+	{
+		Name: "srad", Abbr: "SD", PaperBW: 0.40,
+		MemFrac: 0.025, ComputeLat: 4, CoalescedLines: 2,
+		Pattern: Scatter, SeqRun: 4,
+		FootprintLines: 2 << 20, WriteFrac: 0.25,
+		WarpsPerBlock: 8, Blocks: 4096, InstPerWarp: 3000,
+	},
+}
+
+// All returns copies of the 15 Table III profiles, in the paper's order.
+func All() []Profile {
+	out := make([]Profile, len(table3))
+	copy(out, table3)
+	return out
+}
+
+// ByAbbr returns the profile with the given two-letter abbreviation.
+func ByAbbr(abbr string) (Profile, bool) {
+	for _, p := range table3 {
+		if p.Abbr == abbr {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names returns the abbreviations in Table III order.
+func Names() []string {
+	out := make([]string, len(table3))
+	for i, p := range table3 {
+		out[i] = p.Abbr
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package memreq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func defaultMap() AddrMap {
+	return NewAddrMap(128, 6, 16, 2048)
+}
+
+func TestLineAddrAligns(t *testing.T) {
+	m := defaultMap()
+	if got := m.LineAddr(0x12345); got != 0x12345&^uint64(127) {
+		t.Fatalf("LineAddr(0x12345) = %#x", got)
+	}
+	if got := m.LineAddr(0x80); got != 0x80 {
+		t.Fatalf("aligned address changed: %#x", got)
+	}
+}
+
+func TestCoordinateRangesProperty(t *testing.T) {
+	m := defaultMap()
+	f := func(addr uint64) bool {
+		p := m.Partition(addr)
+		b := m.Bank(addr)
+		s := m.CacheSet(addr, 256)
+		return p >= 0 && p < 6 && b >= 0 && b < 16 && s >= 0 && s < 256
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameLineSameCoordinatesProperty(t *testing.T) {
+	m := defaultMap()
+	f := func(addr uint64, off uint8) bool {
+		line := m.LineAddr(addr)
+		within := line + uint64(off)%128
+		return m.Partition(line) == m.Partition(within) &&
+			m.Bank(line) == m.Bank(within) &&
+			m.Row(line) == m.Row(within)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSequentialLinesInterleavePartitions: a long sequential stream must
+// spread evenly across partitions (the GPU-style channel interleave).
+func TestSequentialLinesInterleavePartitions(t *testing.T) {
+	m := defaultMap()
+	counts := make([]int, 6)
+	const n = 6 * 1000
+	for i := 0; i < n; i++ {
+		counts[m.Partition(uint64(i)*128)]++
+	}
+	for p, c := range counts {
+		if c < n/6-n/60 || c > n/6+n/60 {
+			t.Errorf("partition %d got %d of %d lines (expected ~%d)", p, c, n, n/6)
+		}
+	}
+}
+
+// TestRowLocalityWithinPartition: consecutive lines landing in the same
+// partition must mostly share a (bank,row) pair so streams get row hits.
+func TestRowLocalityWithinPartition(t *testing.T) {
+	m := defaultMap()
+	type coord struct {
+		bank int
+		row  uint64
+	}
+	transitions, samePair := 0, 0
+	var prev map[int]coord = map[int]coord{}
+	for i := 0; i < 96*50; i++ {
+		addr := uint64(i) * 128
+		p := m.Partition(addr)
+		c := coord{m.Bank(addr), m.Row(addr)}
+		if pc, ok := prev[p]; ok {
+			transitions++
+			if pc == c {
+				samePair++
+			}
+		}
+		prev[p] = c
+	}
+	frac := float64(samePair) / float64(transitions)
+	if frac < 0.8 {
+		t.Fatalf("sequential stream keeps same bank/row only %.2f of transitions", frac)
+	}
+}
+
+// TestBankSpreadAcrossRows: different rows of a stream must use different
+// banks (bank-level parallelism).
+func TestBankSpreadAcrossRows(t *testing.T) {
+	m := defaultMap()
+	banks := map[int]bool{}
+	// Walk one partition's address space in row-sized steps.
+	for i := 0; i < 64; i++ {
+		addr := uint64(i) * 2048 * 6 // one row per step, per partition stride
+		banks[m.Bank(addr)] = true
+	}
+	if len(banks) < 8 {
+		t.Fatalf("row-strided walk touched only %d banks", len(banks))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("Kind.String broken")
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := &Request{App: 1, SM: 2, Warp: 3, Addr: 0x80, Kind: Write}
+	if r.String() == "" {
+		t.Fatal("empty request string")
+	}
+}

@@ -1,0 +1,226 @@
+// Package sched implements SM-allocation policies for spatial multitasking:
+// the even static split (the paper's baseline), the LEFTOVER policy of
+// current GPUs, and DASE-Fair (§7) — the fairness-oriented dynamic policy
+// that re-partitions SMs using DASE slowdown estimates.
+package sched
+
+import (
+	"dasesim/internal/config"
+	"dasesim/internal/core"
+	"dasesim/internal/kernels"
+	"dasesim/internal/sim"
+)
+
+// Policy reacts to interval snapshots and may re-partition the SMs.
+type Policy interface {
+	Name() string
+	OnInterval(g *sim.GPU, snap *sim.IntervalSnapshot)
+}
+
+// Even is the static even-partition policy: it never reallocates.
+type Even struct{}
+
+// Name implements Policy.
+func (Even) Name() string { return "Even" }
+
+// OnInterval implements Policy (no-op).
+func (Even) OnInterval(*sim.GPU, *sim.IntervalSnapshot) {}
+
+// Run executes the kernels under the given policy and returns the result.
+func Run(cfg config.Config, ps []kernels.Profile, alloc []int, cycles uint64, seed uint64, pol Policy, opts ...sim.Option) (*sim.Result, error) {
+	g, err := sim.New(cfg, ps, alloc, seed, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if pol != nil {
+		g.IntervalHook = func(gg *sim.GPU, snap *sim.IntervalSnapshot) {
+			pol.OnInterval(gg, snap)
+		}
+	}
+	g.Run(cycles)
+	return g.FinishRun(), nil
+}
+
+// LeftoverAllocation computes the allocation of the LEFTOVER policy used by
+// current GPUs (§2.2): each kernel in turn is given as many SMs as it can
+// fill (bounded by its thread-block count and residency); later kernels get
+// whatever remains. Kernels that end up with zero SMs simply do not run
+// concurrently — the policy's known flaw.
+func LeftoverAllocation(cfg config.Config, ps []kernels.Profile) []int {
+	remaining := cfg.NumSMs
+	out := make([]int, len(ps))
+	for i, p := range ps {
+		if remaining == 0 {
+			break
+		}
+		perSM := cfg.SM.MaxBlocks
+		if byWarps := cfg.SM.MaxWarps / p.WarpsPerBlock; byWarps < perSM {
+			perSM = byWarps
+		}
+		if perSM < 1 {
+			perSM = 1
+		}
+		need := (p.Blocks + perSM - 1) / perSM
+		if need > remaining {
+			need = remaining
+		}
+		out[i] = need
+		remaining -= need
+	}
+	return out
+}
+
+// DASEFair is the paper's fairness-oriented SM partition policy (§7): each
+// interval it estimates every application's all-SM slowdown with DASE,
+// converts to reciprocals (Eq. 28), linearly interpolates each app's
+// reciprocal as a function of its SM count (Eqs. 29-30), exhaustively
+// searches all SM partitions for the one minimising estimated unfairness,
+// and re-partitions via SM draining when the predicted improvement exceeds
+// the hysteresis threshold.
+type DASEFair struct {
+	Est *core.DASE
+	// WarmupIntervals skipped before the first reallocation.
+	WarmupIntervals int
+	// ImprovementThreshold is the minimum predicted relative unfairness
+	// reduction required to trigger a reallocation (hysteresis).
+	ImprovementThreshold float64
+	// MinSMs per application.
+	MinSMs int
+
+	intervals int
+	// Reallocations counts how many times the policy moved SMs.
+	Reallocations int
+}
+
+// NewDASEFair returns the policy with the paper's defaults.
+func NewDASEFair() *DASEFair {
+	return &DASEFair{
+		Est:                  core.New(core.Options{}),
+		WarmupIntervals:      1,
+		ImprovementThreshold: 0.05,
+		MinSMs:               1,
+	}
+}
+
+// Name implements Policy.
+func (p *DASEFair) Name() string { return "DASE-Fair" }
+
+// OnInterval implements Policy.
+func (p *DASEFair) OnInterval(g *sim.GPU, snap *sim.IntervalSnapshot) {
+	p.intervals++
+	if p.intervals <= p.WarmupIntervals {
+		return
+	}
+	slow := p.Est.Estimate(snap)
+	cur := make([]int, len(snap.Apps))
+	for i := range snap.Apps {
+		cur[i] = snap.Apps[i].SMs
+	}
+	best, bestUnf := SearchBestPartition(slow, cur, snap.NumSMs, p.MinSMs)
+	curUnf := estimatedUnfairness(slow, cur, cur, snap.NumSMs)
+	if best == nil {
+		return
+	}
+	if bestUnf >= curUnf*(1-p.ImprovementThreshold) {
+		return
+	}
+	if equalInts(best, cur) {
+		return
+	}
+	if err := g.SetAllocation(best); err == nil {
+		p.Reallocations++
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ReciprocalAt interpolates the reciprocal of an app's slowdown at x SMs
+// from its current estimate at cur SMs out of total (Eqs. 29-30): linear to
+// reciprocal 1 at all SMs and to 0 at zero SMs.
+func ReciprocalAt(recipCur float64, cur, x, total int) float64 {
+	if cur <= 0 {
+		return 0
+	}
+	if x == cur {
+		return recipCur
+	}
+	if x > cur {
+		if total == cur {
+			return recipCur
+		}
+		return recipCur + float64(x-cur)/float64(total-cur)*(1-recipCur)
+	}
+	return recipCur - float64(cur-x)/float64(cur)*recipCur
+}
+
+// estimatedUnfairness predicts MAX/MIN slowdown for a candidate allocation
+// given the current estimates (taken at allocation cur).
+func estimatedUnfairness(slow []float64, cur, cand []int, total int) float64 {
+	var minR, maxR float64
+	for i := range slow {
+		s := slow[i]
+		if s < 1 {
+			s = 1
+		}
+		r := ReciprocalAt(1/s, cur[i], cand[i], total)
+		if r <= 0 {
+			return 1e18 // an app starved entirely: infinitely unfair
+		}
+		if i == 0 || r < minR {
+			minR = r
+		}
+		if i == 0 || r > maxR {
+			maxR = r
+		}
+	}
+	return maxR / minR
+}
+
+// SearchBestPartition exhaustively enumerates all compositions of total SMs
+// into len(slow) parts (each >= minSMs) and returns the allocation with the
+// lowest predicted unfairness, along with that unfairness.
+func SearchBestPartition(slow []float64, cur []int, total, minSMs int) ([]int, float64) {
+	n := len(slow)
+	if n == 0 || minSMs*n > total {
+		return nil, 0
+	}
+	best := make([]int, n)
+	bestUnf := -1.0
+	cand := make([]int, n)
+	var rec func(i, left int)
+	rec = func(i, left int) {
+		if i == n-1 {
+			if left < minSMs {
+				return
+			}
+			cand[i] = left
+			u := estimatedUnfairness(slow, cur, cand, total)
+			if bestUnf < 0 || u < bestUnf {
+				bestUnf = u
+				copy(best, cand)
+			}
+			return
+		}
+		// Leave at least minSMs for each remaining app.
+		maxHere := left - minSMs*(n-1-i)
+		for v := minSMs; v <= maxHere; v++ {
+			cand[i] = v
+			rec(i+1, left-v)
+		}
+	}
+	rec(0, total)
+	if bestUnf < 0 {
+		return nil, 0
+	}
+	return best, bestUnf
+}

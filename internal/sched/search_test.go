@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSearchInfeasible(t *testing.T) {
+	if best, _ := SearchBestPartition([]float64{2, 2}, []int{8, 8}, 1, 1); best != nil {
+		t.Fatalf("infeasible search returned %v", best)
+	}
+	if best, _ := SearchBestPartition(nil, nil, 16, 1); best != nil {
+		t.Fatal("empty search returned a partition")
+	}
+}
+
+func TestSearchMinSMsRespected(t *testing.T) {
+	best, _ := SearchBestPartition([]float64{100, 1}, []int{8, 8}, 16, 3)
+	if best == nil {
+		t.Fatal("no partition")
+	}
+	for i, v := range best {
+		if v < 3 {
+			t.Fatalf("app %d got %d SMs, below MinSMs", i, v)
+		}
+	}
+}
+
+func TestSearchEqualSlowdownsPrefersBalance(t *testing.T) {
+	best, unf := SearchBestPartition([]float64{2, 2}, []int{8, 8}, 16, 1)
+	if best[0] != 8 || best[1] != 8 {
+		t.Fatalf("equal slowdowns should keep the even split, got %v", best)
+	}
+	if unf > 1.0001 {
+		t.Fatalf("even split of equal apps predicted unfair: %v", unf)
+	}
+}
+
+// TestSearchPartitionProperties: the returned partition always uses all SMs,
+// respects MinSMs, and its predicted unfairness is no worse than the
+// current allocation's prediction.
+func TestSearchPartitionProperties(t *testing.T) {
+	f := func(s1, s2, s3 uint8) bool {
+		slow := []float64{
+			1 + float64(s1%40)/10,
+			1 + float64(s2%40)/10,
+			1 + float64(s3%40)/10,
+		}
+		cur := []int{6, 5, 5}
+		best, unf := SearchBestPartition(slow, cur, 16, 1)
+		if best == nil {
+			return false
+		}
+		sum := 0
+		for _, v := range best {
+			if v < 1 {
+				return false
+			}
+			sum += v
+		}
+		if sum != 16 {
+			return false
+		}
+		curUnf := estimatedUnfairness(slow, cur, cur, 16)
+		return unf <= curUnf+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReciprocalAtEdges(t *testing.T) {
+	if got := ReciprocalAt(0.5, 0, 4, 16); got != 0 {
+		t.Fatalf("zero current SMs should give 0, got %v", got)
+	}
+	if got := ReciprocalAt(0.5, 8, 0, 16); got != 0 {
+		t.Fatalf("zero target SMs should give 0, got %v", got)
+	}
+	// Monotone in x.
+	prev := -1.0
+	for x := 0; x <= 16; x++ {
+		v := ReciprocalAt(0.4, 8, x, 16)
+		if v < prev {
+			t.Fatalf("ReciprocalAt not monotone at x=%d: %v < %v", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestDASEFairHysteresis(t *testing.T) {
+	// With an absurd improvement threshold, the policy must never move.
+	pol := NewDASEFair()
+	pol.ImprovementThreshold = 10 // impossible to satisfy
+	if pol.Name() != "DASE-Fair" {
+		t.Fatal("name")
+	}
+	// A nil estimator would panic if OnInterval ran its body before the
+	// warmup gate; exercise the warmup path.
+	pol.WarmupIntervals = 1000
+	pol.OnInterval(nil, nil)
+	if pol.Reallocations != 0 {
+		t.Fatal("reallocated during warmup")
+	}
+}

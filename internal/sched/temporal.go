@@ -1,0 +1,50 @@
+package sched
+
+import "dasesim/internal/sim"
+
+// TimeSlice implements traditional temporal multitasking (paper §2.2): the
+// whole GPU is handed to one application at a time, rotating every
+// SliceIntervals estimation intervals. Switching drains the outgoing
+// application's thread blocks — the context-switch cost the paper's cited
+// works try to avoid — so short slices pay proportionally more overhead.
+//
+// It exists as the baseline paradigm that spatial multitasking (the even
+// split, DASE-Fair) is compared against in experiment Ext.G.
+type TimeSlice struct {
+	// SliceIntervals is the slice length in estimation intervals.
+	SliceIntervals int
+
+	intervals int
+	cur       int
+	// Switches counts completed rotations.
+	Switches int
+}
+
+// NewTimeSlice builds the policy with the given slice length (intervals).
+func NewTimeSlice(sliceIntervals int) *TimeSlice {
+	if sliceIntervals < 1 {
+		sliceIntervals = 1
+	}
+	return &TimeSlice{SliceIntervals: sliceIntervals}
+}
+
+// Name implements Policy.
+func (p *TimeSlice) Name() string { return "TimeSlice" }
+
+// OnInterval implements Policy.
+func (p *TimeSlice) OnInterval(g *sim.GPU, snap *sim.IntervalSnapshot) {
+	p.intervals++
+	if p.intervals%p.SliceIntervals != 0 {
+		return
+	}
+	n := len(snap.Apps)
+	if n < 2 {
+		return
+	}
+	p.cur = (p.cur + 1) % n
+	alloc := make([]int, n)
+	alloc[p.cur] = snap.NumSMs
+	if err := g.SetAllocation(alloc); err == nil {
+		p.Switches++
+	}
+}

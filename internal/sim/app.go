@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"dasesim/internal/kernels"
+	"dasesim/internal/memreq"
+	"dasesim/internal/stats"
+)
+
+// App is one application (kernel) participating in a simulation.
+type App struct {
+	ID      memreq.AppID
+	Profile kernels.Profile
+
+	base uint64 // private address-space base
+	seed uint64
+
+	// Kernel-launch dispatch state. Following the paper's methodology an
+	// application that finishes before the cycle budget is restarted, so
+	// dispatch wraps around to a new launch once all blocks of the current
+	// launch have retired.
+	nextBlock int // next block index to dispatch in this launch
+	inFlight  int // dispatched, not yet finished
+	done      int // finished in this launch
+	launches  int
+
+	// Cumulative whole-run statistics (filled by the GPU).
+	Instructions uint64
+	SMCycles     uint64
+	ActiveCycles uint64
+	StallUnits   float64
+	MemInsts     uint64
+	L1Hits       uint64
+	L1Misses     uint64
+	BlocksDone   uint64
+
+	// MemLat/LatHist aggregate load round-trip latencies across the app's
+	// SMs.
+	MemLat  stats.Online
+	LatHist stats.LogHist
+}
+
+func newApp(id memreq.AppID, p kernels.Profile, seed uint64) *App {
+	return &App{
+		ID:      id,
+		Profile: p,
+		base:    (uint64(id) + 1) << 40,
+		seed:    seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15,
+	}
+}
+
+// TBSum is the number of thread blocks of the current launch that have not
+// finished (the TB_i^sum of Eq. 24).
+func (a *App) TBSum() int { return a.Profile.Blocks - a.done }
+
+// TBShared is the number of thread blocks currently resident on SMs
+// (the TB_i^shared of Eq. 24).
+func (a *App) TBShared() int { return a.inFlight }
+
+// Launches returns how many times the kernel has been (re)started.
+func (a *App) Launches() int { return a.launches }
+
+// IPC returns the application's whole-run aggregate instructions per GPU
+// cycle, given the total simulated cycles.
+func (a *App) IPC(cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(a.Instructions) / float64(cycles)
+}
+
+// Alpha returns the whole-run memory stall fraction across the app's SMs.
+func (a *App) Alpha() float64 {
+	if a.ActiveCycles == 0 {
+		return 0
+	}
+	return a.StallUnits / float64(a.ActiveCycles)
+}
+
+// dispatcher adapts an App to smcore.BlockSource.
+type dispatcher struct{ app *App }
+
+func (d *dispatcher) WarpsPerBlock() int { return d.app.Profile.WarpsPerBlock }
+
+func (d *dispatcher) NextBlock() ([]*kernels.WarpStream, bool) {
+	a := d.app
+	if a.nextBlock >= a.Profile.Blocks {
+		// Current launch fully dispatched; a new launch begins only after
+		// every block of this one retires (kernel restart).
+		if a.inFlight > 0 {
+			return nil, false
+		}
+		a.launches++
+		a.nextBlock = 0
+		a.done = 0
+	}
+	blk := a.nextBlock
+	a.nextBlock++
+	a.inFlight++
+	wpb := a.Profile.WarpsPerBlock
+	streams := make([]*kernels.WarpStream, wpb)
+	blockID := uint64(a.launches)<<32 | uint64(blk)
+	for w := 0; w < wpb; w++ {
+		streams[w] = kernels.NewWarpStream(&a.Profile, a.base, blockID, w, a.seed)
+	}
+	return streams, true
+}
+
+func (d *dispatcher) BlockFinished() {
+	d.app.inFlight--
+	d.app.done++
+	d.app.BlocksDone++
+}

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"testing"
+
+	"dasesim/internal/config"
+	"dasesim/internal/kernels"
+)
+
+// TestCalibrationTable runs every Table III kernel alone on the full GPU and
+// logs its measured bandwidth utilisation next to the paper's target. Run
+// with -v to read the calibration table. The assertion is deliberately loose
+// (behaviour class, not exact percentage): kernels documented as high-BW
+// must exceed mid ones, etc.
+func TestCalibrationTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run")
+	}
+	cfg := config.Default()
+	cycles := uint64(100_000)
+	meas := map[string]float64{}
+	for _, p := range kernels.All() {
+		res, err := RunAlone(cfg, p, cycles, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Abbr, err)
+		}
+		a := res.Apps[0]
+		meas[p.Abbr] = a.BWUtil
+		t.Logf("%-3s paper=%.2f meas=%.3f IPC=%6.2f alpha=%.3f rowhit=%.3f l1hit=%.3f served=%7d wasted=%5.3f idle=%5.3f",
+			p.Abbr, p.PaperBW, a.BWUtil, a.IPC, a.Alpha, a.RowHitRate, a.L1HitRate, a.Served,
+			float64(res.BusWasted)/float64(res.BusCycles), float64(res.BusIdle)/float64(res.BusCycles))
+	}
+	// Behaviour-class assertions: every high-BW kernel beats every low-BW
+	// kernel by a clear margin.
+	high := []string{"SB", "BS", "AA", "VA", "SA", "NN", "SP", "SC"}
+	low := []string{"CT", "QR", "SN", "BG"}
+	for _, h := range high {
+		for _, l := range low {
+			if meas[h] <= meas[l] {
+				t.Errorf("expected %s (high-BW, %.3f) > %s (low-BW, %.3f)", h, meas[h], l, meas[l])
+			}
+		}
+	}
+}

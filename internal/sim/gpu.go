@@ -1,0 +1,446 @@
+// Package sim wires the SM cores, interconnect, L2 slices and DRAM
+// controllers into a whole-GPU cycle-level simulator with spatial
+// multitasking: each SM is owned by one application at a time, ownership
+// changes happen by draining (paper §7), and per-interval hardware-counter
+// snapshots feed the slowdown estimators and scheduling policies.
+package sim
+
+import (
+	"fmt"
+
+	"dasesim/internal/config"
+	"dasesim/internal/icnt"
+	"dasesim/internal/kernels"
+	"dasesim/internal/memreq"
+	"dasesim/internal/smcore"
+)
+
+// GPU is one simulated device executing a set of applications.
+type GPU struct {
+	cfg  config.Config
+	amap memreq.AddrMap
+
+	apps  []*App
+	disps []*dispatcher
+	sms   []*smcore.SM
+	parts []*partition
+	ic    *icnt.ICNT
+
+	cycle uint64
+
+	// desired[i] is the app that should own SM i; when it differs from the
+	// current owner the SM is draining toward reassignment.
+	desired []memreq.AppID
+
+	// interval state
+	intervalStart uint64
+	window        []appWindow // per-app interval accumulators
+
+	// priority-epoch state (MISE/ASM sampling). When enabled, each
+	// interval is divided into len(apps) equal slices; during slice k all
+	// controllers give app k's requests highest priority.
+	priorityEpochs bool
+	prioServedBase []uint64 // served count at the start of the current slice
+	prioServed     []uint64 // served during own priority slice, this interval
+	prioCycles     []uint64
+	curPrio        memreq.AppID
+
+	// IntervalHook, when set, runs at every interval boundary with the
+	// fresh snapshot, before counters reset. Policies and estimators hang
+	// off this.
+	IntervalHook func(g *GPU, snap *IntervalSnapshot)
+
+	snapshots []IntervalSnapshot
+}
+
+// appWindow accumulates SM-side stats for one app over the current interval.
+type appWindow struct {
+	issued       uint64
+	smCycles     uint64
+	activeCycles uint64
+	stallUnits   float64
+	memInsts     uint64
+}
+
+// Option configures a GPU.
+type Option func(*GPU)
+
+// WithPriorityEpochs enables the rotating highest-priority sampling epochs
+// that the MISE and ASM estimators require.
+func WithPriorityEpochs() Option {
+	return func(g *GPU) { g.priorityEpochs = true }
+}
+
+// New builds a GPU running the given application profiles with alloc[i] SMs
+// initially assigned to app i. The sum of alloc must not exceed the SM
+// count; SMs are assigned contiguously in order.
+func New(cfg config.Config, profiles []kernels.Profile, alloc []int, seed uint64, opts ...Option) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("sim: no applications")
+	}
+	if len(alloc) != len(profiles) {
+		return nil, fmt.Errorf("sim: %d allocations for %d apps", len(alloc), len(profiles))
+	}
+	total := 0
+	for i, n := range alloc {
+		if n < 0 {
+			return nil, fmt.Errorf("sim: app %d allocated %d SMs", i, n)
+		}
+		total += n
+	}
+	if total > cfg.NumSMs {
+		return nil, fmt.Errorf("sim: allocation %v exceeds %d SMs", alloc, cfg.NumSMs)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("sim: allocation %v leaves the GPU empty", alloc)
+	}
+	for i := range profiles {
+		if err := profiles[i].Validate(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		if profiles[i].CoalescedLines > 0 && kernels.LineBytes != cfg.L1.LineBytes {
+			return nil, fmt.Errorf("sim: kernel line size %d != cache line size %d", kernels.LineBytes, cfg.L1.LineBytes)
+		}
+	}
+
+	amap := memreq.NewAddrMap(cfg.L2.LineBytes, cfg.NumMCs, cfg.Mem.NumBanks, cfg.Mem.RowBytes)
+	g := &GPU{
+		cfg:            cfg,
+		amap:           amap,
+		ic:             icnt.New(cfg.ICNT, cfg.NumSMs, cfg.NumMCs, cfg.L2.LineBytes),
+		desired:        make([]memreq.AppID, cfg.NumSMs),
+		window:         make([]appWindow, len(profiles)),
+		prioServedBase: make([]uint64, len(profiles)),
+		prioServed:     make([]uint64, len(profiles)),
+		prioCycles:     make([]uint64, len(profiles)),
+		curPrio:        memreq.InvalidApp,
+	}
+	for _, o := range opts {
+		o(g)
+	}
+	for i, p := range profiles {
+		app := newApp(memreq.AppID(i), p, seed)
+		g.apps = append(g.apps, app)
+		g.disps = append(g.disps, &dispatcher{app})
+	}
+	for i := 0; i < cfg.NumSMs; i++ {
+		g.sms = append(g.sms, smcore.New(i, cfg, amap))
+		g.desired[i] = memreq.InvalidApp
+	}
+	for i := 0; i < cfg.NumMCs; i++ {
+		g.parts = append(g.parts, newPartition(i, cfg, amap, len(profiles)))
+	}
+	smi := 0
+	for a, n := range alloc {
+		for j := 0; j < n; j++ {
+			g.desired[smi] = memreq.AppID(a)
+			g.sms[smi].Assign(memreq.AppID(a), g.disps[a])
+			smi++
+		}
+	}
+	return g, nil
+}
+
+// Config returns the GPU's configuration.
+func (g *GPU) Config() config.Config { return g.cfg }
+
+// Cycle returns the current simulation cycle.
+func (g *GPU) Cycle() uint64 { return g.cycle }
+
+// Apps returns the simulated applications (live pointers).
+func (g *GPU) Apps() []*App { return g.apps }
+
+// Allocation returns how many SMs each app currently owns (desired
+// ownership; SMs mid-drain count toward their future owner).
+func (g *GPU) Allocation() []int {
+	out := make([]int, len(g.apps))
+	for _, d := range g.desired {
+		if d != memreq.InvalidApp {
+			out[d]++
+		}
+	}
+	return out
+}
+
+// Owners returns the current owner app of every SM (InvalidApp for idle
+// SMs still draining toward a new owner).
+func (g *GPU) Owners() []memreq.AppID {
+	out := make([]memreq.AppID, len(g.sms))
+	for i, sm := range g.sms {
+		out[i] = sm.Owner()
+	}
+	return out
+}
+
+// SetAllocation requests a new SM partition: alloc[i] SMs for app i. SMs
+// whose ownership changes are drained and reassigned when idle. An app may
+// be allocated zero SMs (it stalls until a later reallocation — temporal
+// multitasking uses this), but at least one app must get SMs. Returns an
+// error if the allocation is infeasible.
+func (g *GPU) SetAllocation(alloc []int) error {
+	if len(alloc) != len(g.apps) {
+		return fmt.Errorf("sim: %d allocations for %d apps", len(alloc), len(g.apps))
+	}
+	total := 0
+	for i, n := range alloc {
+		if n < 0 {
+			return fmt.Errorf("sim: app %d allocated %d SMs", i, n)
+		}
+		total += n
+	}
+	if total > g.cfg.NumSMs {
+		return fmt.Errorf("sim: allocation %v exceeds %d SMs", alloc, g.cfg.NumSMs)
+	}
+	if total == 0 {
+		return fmt.Errorf("sim: allocation %v leaves the GPU empty", alloc)
+	}
+
+	// Keep as many currently-owned SMs as possible; mark the rest.
+	have := make([]int, len(g.apps))
+	for i := range g.desired {
+		g.desired[i] = memreq.InvalidApp
+	}
+	// First pass: let each app keep up to alloc[a] of its current SMs.
+	for i, sm := range g.sms {
+		a := sm.Owner()
+		if a != memreq.InvalidApp && have[a] < alloc[a] {
+			g.desired[i] = a
+			have[a]++
+		}
+	}
+	// Second pass: hand remaining SMs to apps still short.
+	for i := range g.sms {
+		if g.desired[i] != memreq.InvalidApp {
+			continue
+		}
+		for a := range alloc {
+			if have[a] < alloc[a] {
+				g.desired[i] = memreq.AppID(a)
+				have[a]++
+				break
+			}
+		}
+	}
+	g.applyDesired()
+	return nil
+}
+
+// applyDesired drains SMs whose desired owner differs and reassigns the
+// idle ones.
+func (g *GPU) applyDesired() {
+	for i, sm := range g.sms {
+		want := g.desired[i]
+		if sm.Owner() == want {
+			if sm.Draining() && want != memreq.InvalidApp {
+				// A previous reassignment was cancelled; resume dispatch.
+				sm.Undrain()
+			}
+			continue
+		}
+		if !sm.Idle() {
+			sm.Drain()
+			continue
+		}
+		g.flushSM(sm)
+		if want == memreq.InvalidApp {
+			continue
+		}
+		sm.Assign(want, g.disps[want])
+	}
+}
+
+// flushSM folds an SM's stats into its owner's window and whole-run
+// counters, then clears them.
+func (g *GPU) flushSM(sm *smcore.SM) {
+	a := sm.Owner()
+	if a == memreq.InvalidApp {
+		sm.ResetStats()
+		return
+	}
+	st := sm.Stats()
+	w := &g.window[a]
+	w.issued += st.Issued
+	w.smCycles += st.Cycles
+	w.activeCycles += st.ActiveCycles
+	w.stallUnits += st.StallUnits
+	w.memInsts += st.MemInsts
+
+	app := g.apps[a]
+	app.Instructions += st.Issued
+	app.SMCycles += st.Cycles
+	app.ActiveCycles += st.ActiveCycles
+	app.StallUnits += st.StallUnits
+	app.MemInsts += st.MemInsts
+	app.L1Hits += st.LoadsL1Hit
+	app.L1Misses += st.LoadsL1Miss
+	app.MemLat.Merge(st.MemLat)
+	app.LatHist.Merge(&st.LatHist)
+	sm.ResetStats()
+}
+
+// Run advances the simulation by n cycles.
+func (g *GPU) Run(n uint64) {
+	end := g.cycle + n
+	for g.cycle < end {
+		g.step()
+	}
+}
+
+// step advances exactly one core cycle.
+func (g *GPU) step() {
+	now := g.cycle
+
+	if g.priorityEpochs {
+		g.updatePriorityEpoch(now)
+	}
+
+	// 1. SM compute/issue.
+	for _, sm := range g.sms {
+		sm.Cycle(now)
+	}
+
+	// 2. SM outboxes into the interconnect (up to 2 injections per SM per
+	// cycle; the crossbar's per-port serialization does fine-grained
+	// pacing).
+	for _, sm := range g.sms {
+		for k := 0; k < 2; k++ {
+			r := sm.PeekOutbox()
+			if r == nil {
+				break
+			}
+			part := g.amap.Partition(r.Addr)
+			if !g.ic.CanSendToMem(part) {
+				break
+			}
+			g.ic.SendToMem(part, sm.PopOutbox(), now)
+		}
+	}
+
+	// 3. Partitions: pop arrived requests into L2, run DRAM, emit replies.
+	for pi, p := range g.parts {
+		// Replay a previously blocked request first.
+		if p.replay != nil {
+			if p.access(p.replay, now) {
+				p.replay = nil
+			}
+		}
+		for k := 0; k < p.l2PerCycle && p.replay == nil && !p.backlogged(); k++ {
+			r := g.ic.RecvAtMem(pi, now)
+			if r == nil {
+				break
+			}
+			if !p.access(r, now) {
+				p.replay = r
+			}
+		}
+		p.cycle(now)
+		for k := 0; k < 4; k++ {
+			r := p.popReply(now)
+			if r == nil {
+				break
+			}
+			if !g.ic.CanSendToSM(r.SM) {
+				// Put it back; try next cycle.
+				p.replies = append(p.replies, timedReq{r, now})
+				break
+			}
+			g.ic.SendToSM(pi, r, now)
+		}
+	}
+
+	// 4. Replies into SMs.
+	for si, sm := range g.sms {
+		for {
+			r := g.ic.RecvAtSM(si, now)
+			if r == nil {
+				break
+			}
+			sm.DeliverReply(r, now)
+		}
+	}
+
+	// 5. Progress any pending reassignment.
+	g.applyDesired()
+
+	g.cycle++
+
+	// 6. Interval boundary.
+	if g.cycle-g.intervalStart >= g.cfg.IntervalCycles {
+		snap := g.takeSnapshot()
+		g.snapshots = append(g.snapshots, *snap)
+		if g.IntervalHook != nil {
+			g.IntervalHook(g, snap)
+		}
+		g.resetInterval()
+	}
+}
+
+// updatePriorityEpoch rotates the controller priority app across equal
+// slices of the interval and records per-app served counts during their own
+// slice.
+func (g *GPU) updatePriorityEpoch(now uint64) {
+	sliceLen := g.cfg.IntervalCycles / uint64(len(g.apps))
+	if sliceLen == 0 {
+		return
+	}
+	pos := now - g.intervalStart
+	idx := int(pos / sliceLen)
+	if idx >= len(g.apps) {
+		idx = len(g.apps) - 1
+	}
+	want := memreq.AppID(idx)
+	if want == g.curPrio {
+		if g.curPrio != memreq.InvalidApp {
+			g.prioCycles[g.curPrio]++
+		}
+		return
+	}
+	// Close the previous slice.
+	if g.curPrio != memreq.InvalidApp {
+		g.prioServed[g.curPrio] += g.servedTotal(g.curPrio) - g.prioServedBase[g.curPrio]
+	}
+	g.curPrio = want
+	g.prioServedBase[want] = g.servedTotal(want)
+	g.prioCycles[want]++
+	for _, p := range g.parts {
+		p.mc.SetPriorityApp(want)
+	}
+}
+
+// servedTotal sums an app's served-request counters across partitions for
+// the current interval.
+func (g *GPU) servedTotal(a memreq.AppID) uint64 {
+	var s uint64
+	for _, p := range g.parts {
+		s += p.mc.Counters(a).Served
+	}
+	return s
+}
+
+// resetInterval clears all interval counters after a snapshot.
+func (g *GPU) resetInterval() {
+	for _, sm := range g.sms {
+		g.flushSM(sm)
+	}
+	for i := range g.window {
+		g.window[i] = appWindow{}
+	}
+	for _, p := range g.parts {
+		p.resetIntervalCounters()
+	}
+	for i := range g.prioServed {
+		g.prioServed[i] = 0
+		g.prioCycles[i] = 0
+	}
+	if g.curPrio != memreq.InvalidApp {
+		g.prioServedBase[g.curPrio] = 0
+	}
+	g.curPrio = memreq.InvalidApp
+	g.intervalStart = g.cycle
+}
+
+// Snapshots returns all interval snapshots taken so far.
+func (g *GPU) Snapshots() []IntervalSnapshot { return g.snapshots }

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"dasesim/internal/cache"
+	"dasesim/internal/config"
+	"dasesim/internal/dram"
+	"dasesim/internal/memreq"
+)
+
+// timedReq is a request that becomes actionable at a future cycle (models
+// the L2 pipeline latency).
+type timedReq struct {
+	req   *memreq.Request
+	ready uint64
+}
+
+// partition is one memory partition: an L2 slice, per-application auxiliary
+// tag directories, and a DRAM controller.
+type partition struct {
+	id   int
+	cfg  config.Config
+	amap memreq.AddrMap
+
+	l2   *cache.Cache
+	atds []*cache.ATD
+	mc   *dram.Controller
+
+	// wakeLists maps in-flight L2 miss lines to the requests merged on
+	// them (the first entry is the one forwarded to DRAM).
+	wakeLists map[uint64][]*memreq.Request
+
+	toMC    []*memreq.Request // L2 misses awaiting controller space
+	replies []timedReq        // read replies awaiting interconnect space
+	replay  *memreq.Request   // request that found the L2 MSHRs full
+
+	// l2AccessesPerCycle limits slice throughput.
+	l2PerCycle int
+}
+
+func newPartition(id int, cfg config.Config, amap memreq.AddrMap, numApps int) *partition {
+	p := &partition{
+		id:         id,
+		cfg:        cfg,
+		amap:       amap,
+		l2:         cache.NewCache(cfg.L2, numApps),
+		atds:       make([]*cache.ATD, numApps),
+		mc:         dram.NewController(cfg.Mem, amap, id, numApps),
+		wakeLists:  make(map[uint64][]*memreq.Request),
+		l2PerCycle: 2,
+	}
+	for i := range p.atds {
+		p.atds[i] = cache.NewATD(cfg.L2.Sets(), cfg.L2.Assoc, cfg.ATDSampledSets)
+	}
+	return p
+}
+
+// access runs one request through the L2 slice. It returns false when the
+// request could not be accepted (L2 MSHRs exhausted) and must be replayed.
+func (p *partition) access(r *memreq.Request, now uint64) bool {
+	set := p.amap.CacheSet(r.Addr, p.l2.Sets())
+	res := p.l2.AccessRW(r.App, set, r.Addr, r.Kind == memreq.Write)
+	if res == cache.Blocked {
+		return false
+	}
+	sharedMiss := res != cache.Hit
+	p.atds[r.App].Access(set, r.Addr, sharedMiss)
+	switch res {
+	case cache.Hit:
+		if r.Kind == memreq.Read {
+			p.replies = append(p.replies, timedReq{r, now + p.cfg.L2.HitLatency})
+		}
+	case cache.Miss:
+		r.L2Miss = true
+		p.wakeLists[r.Addr] = append(p.wakeLists[r.Addr], r)
+		p.toMC = append(p.toMC, r)
+	case cache.MergedMiss:
+		r.L2Miss = true
+		p.wakeLists[r.Addr] = append(p.wakeLists[r.Addr], r)
+	}
+	return true
+}
+
+// cycle advances the partition: DRAM, fills, and queue draining.
+func (p *partition) cycle(now uint64) {
+	p.mc.Cycle(now)
+
+	// DRAM completions fill the L2 and release merged requests.
+	for _, r := range p.mc.Replies() {
+		if r.Kind == memreq.Write && r.SM < 0 {
+			// Completed write-back of an evicted dirty line: no fill, no
+			// reply — the line left the cache when it was evicted.
+			continue
+		}
+		set := p.amap.CacheSet(r.Addr, p.l2.Sets())
+		waiters := p.wakeLists[r.Addr]
+		delete(p.wakeLists, r.Addr)
+		write := true
+		for _, w := range waiters {
+			if w.Kind == memreq.Read {
+				write = false
+			}
+		}
+		_, _, wb := p.l2.FillRW(r.App, set, r.Addr, write && len(waiters) > 0)
+		if wb.Valid {
+			// Dirty eviction: emit a write-back toward DRAM, attributed
+			// to the evicted line's owner; SM -1 marks it internal.
+			p.toMC = append(p.toMC, &memreq.Request{
+				App: wb.Owner, SM: -1, Addr: wb.Addr,
+				Kind: memreq.Write, Issued: now,
+			})
+		}
+		for _, w := range waiters {
+			if w.Kind == memreq.Read {
+				p.replies = append(p.replies, timedReq{w, now + p.cfg.L2.HitLatency})
+			}
+		}
+	}
+
+	// Forward buffered L2 misses to the controller.
+	n := 0
+	for _, r := range p.toMC {
+		if p.mc.CanAccept() {
+			p.mc.Enqueue(r)
+		} else {
+			p.toMC[n] = r
+			n++
+		}
+	}
+	p.toMC = p.toMC[:n]
+}
+
+// popReply returns the next read reply ready to inject into the
+// interconnect, or nil. Replies are released in ready order because they
+// are appended in nondecreasing ready times per source, and small
+// reorderings across sources do not matter for timing.
+func (p *partition) popReply(now uint64) *memreq.Request {
+	if len(p.replies) == 0 {
+		return nil
+	}
+	// Find the earliest-ready entry among the first few to avoid
+	// head-of-line blocking from slightly out-of-order ready stamps.
+	best := -1
+	for i := 0; i < len(p.replies) && i < 4; i++ {
+		if p.replies[i].ready <= now && (best == -1 || p.replies[i].ready < p.replies[best].ready) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	r := p.replies[best].req
+	p.replies = append(p.replies[:best], p.replies[best+1:]...)
+	return r
+}
+
+// backlogged reports whether the partition is too full to accept another
+// request from the interconnect.
+func (p *partition) backlogged() bool {
+	return p.replay != nil || len(p.toMC) >= p.cfg.Mem.L2QueueDepth
+}
+
+// extraMisses returns the contention-miss estimate for the app on this
+// partition (Eq. 13).
+func (p *partition) extraMisses(app memreq.AppID) float64 {
+	return p.atds[app].ExtraMisses()
+}
+
+// resetIntervalCounters clears the per-interval hardware counters while
+// keeping all cache/row state warm.
+func (p *partition) resetIntervalCounters() {
+	p.mc.ResetCounters()
+	for _, a := range p.atds {
+		a.ResetCounters()
+	}
+}

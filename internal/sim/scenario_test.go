@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dasesim/internal/config"
+	"dasesim/internal/kernels"
+)
+
+// The scenario tests assert the interference phenomena the paper's
+// motivation section (§3) is built on, end to end through the full GPU.
+
+// TestScenarioCacheThrashVictim: a cache-resident kernel (CT) co-running
+// with a streaming kernel (VA) must lose L2 hits — its DRAM traffic rises
+// above its alone level and the ATD detects contention misses.
+func TestScenarioCacheThrashVictim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow scenario")
+	}
+	cfg := config.Default()
+	va, _ := kernels.ByAbbr("VA")
+	ct, _ := kernels.ByAbbr("CT")
+
+	alone, err := RunAlone(cfg, ct, 100_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := RunShared(cfg, []kernels.Profile{va, ct}, []int{8, 8}, 100_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// CT on 8 SMs issues about half the memory instructions it issues on
+	// 16, yet its DRAM requests must exceed half its alone level by a
+	// clear factor (contention misses).
+	aloneRate := float64(alone.Apps[0].Served) / float64(alone.Cycles)
+	sharedRate := float64(shared.Apps[1].Served) / float64(shared.Cycles)
+	if sharedRate < aloneRate*0.75 {
+		t.Fatalf("CT shared DRAM rate %.4f not inflated vs alone %.4f (cache thrash missing)",
+			sharedRate, aloneRate)
+	}
+	// And the ATD must attribute a large share to contention.
+	var ellc float64
+	for _, s := range shared.Snapshots {
+		ellc += s.Apps[1].ELLCMiss
+	}
+	if ellc < float64(shared.Apps[1].Served)/10 {
+		t.Fatalf("ATD detected only %.0f contention misses of %d requests", ellc, shared.Apps[1].Served)
+	}
+}
+
+// TestScenarioRowLocalityLoss: a streaming kernel loses row-buffer hits
+// when a scatter kernel (SD) shares the DRAM.
+func TestScenarioRowLocalityLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow scenario")
+	}
+	cfg := config.Default()
+	sa, _ := kernels.ByAbbr("SA")
+	sd, _ := kernels.ByAbbr("SD")
+
+	alone, err := RunAlone(cfg, sa, 100_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := RunShared(cfg, []kernels.Profile{sa, sd}, []int{8, 8}, 100_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FR-FCFS defends stream locality, so the rate drop can be small —
+	// but sharing must never improve it materially, and the interference
+	// detector (the last-access-row registers, Eq. 10) must fire.
+	if shared.Apps[0].RowHitRate > alone.Apps[0].RowHitRate+0.03 {
+		t.Fatalf("SA row-hit rate improved under sharing: %.3f vs %.3f alone",
+			shared.Apps[0].RowHitRate, alone.Apps[0].RowHitRate)
+	}
+	var erb uint64
+	for _, s := range shared.Snapshots {
+		erb += s.Apps[0].ERBMiss
+	}
+	if erb == 0 {
+		t.Fatal("no extra row-buffer misses detected for the streamer")
+	}
+}
+
+// TestScenarioTLPLimitedImmunity: SN (24 thread blocks) fits entirely on 8
+// SMs, so halving its SM count costs it almost nothing — its slowdown must
+// stay well below a compute-bound kernel's ~2x.
+func TestScenarioTLPLimitedImmunity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow scenario")
+	}
+	cfg := config.Default()
+	sn, _ := kernels.ByAbbr("SN")
+	qr, _ := kernels.ByAbbr("QR")
+
+	alone, err := RunAlone(cfg, sn, 150_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := RunShared(cfg, []kernels.Profile{sn, qr}, []int{8, 8}, 150_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := alone.Apps[0].IPC / shared.Apps[0].IPC
+	if slow > 1.6 {
+		t.Fatalf("TLP-limited SN slowed %.2fx on half the SMs; expected mild impact", slow)
+	}
+}
+
+// TestScenarioBandwidthSaturation: two bandwidth-bound streamers sharing
+// the GPU must saturate the DRAM (near-zero idle).
+func TestScenarioBandwidthSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow scenario")
+	}
+	cfg := config.Default()
+	sb, _ := kernels.ByAbbr("SB")
+	va, _ := kernels.ByAbbr("VA")
+	shared, err := RunShared(cfg, []kernels.Profile{sb, va}, []int{8, 8}, 100_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := float64(shared.BusIdle) / float64(shared.BusCycles)
+	if idle > 0.05 {
+		t.Fatalf("two streamers left the DRAM idle %.1f%% of cycles", idle*100)
+	}
+}
+
+// TestScenarioL2Writeback: with the writeback L2 enabled, a store-heavy
+// kernel with L2 reuse must generate dirty-eviction write traffic at the
+// DRAM beyond what the write-through-at-miss default produces.
+func TestScenarioL2Writeback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow scenario")
+	}
+	base := config.Default()
+	p, _ := kernels.ByAbbr("CS") // partial L2 reuse, stores
+	p.WriteFrac = 0.5
+
+	run := func(wb bool) uint64 {
+		cfg := base
+		cfg.L2.Writeback = wb
+		res, err := RunAlone(cfg, p, 60_000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Apps[0].Served
+	}
+	without := run(false)
+	with := run(true)
+	if with <= without {
+		t.Fatalf("writeback produced no extra DRAM traffic: %d vs %d", with, without)
+	}
+}
+
+// TestScenarioBarriersPreserveLocality: block barriers (__syncthreads)
+// resynchronise warps, so a barrier-enabled streamer holds its row-hit rate
+// over time where the unsynchronised version drifts down.
+func TestScenarioBarriersPreserveLocality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow scenario")
+	}
+	cfg := config.Default()
+	p, _ := kernels.ByAbbr("SB")
+	run := func(barrier int) float64 {
+		q := p
+		q.BarrierEvery = barrier
+		res, err := RunAlone(cfg, q, 300_000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Row-hit rate of the LAST interval (after warps had time to
+		// drift).
+		last := res.Snapshots[len(res.Snapshots)-1]
+		a := last.Apps[0]
+		return float64(a.RowHits) / float64(a.RowHits+a.RowMisses)
+	}
+	without := run(0)
+	with := run(400)
+	t.Logf("late-run row-hit rate: no barriers %.3f, barriers %.3f", without, with)
+	if with <= without {
+		t.Fatalf("barriers did not preserve locality: %.3f vs %.3f", with, without)
+	}
+}
+
+// TestRandomMixInvariantsProperty runs short simulations over random kernel
+// pairs and allocations, checking the structural invariants that must hold
+// for any input.
+func TestRandomMixInvariantsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow property test")
+	}
+	cfg := config.Default()
+	cfg.IntervalCycles = 5_000
+	all := kernels.All()
+	f := func(i, j, split, seed uint8) bool {
+		a := all[int(i)%len(all)]
+		b := all[int(j)%len(all)]
+		smA := int(split)%(cfg.NumSMs-1) + 1
+		alloc := []int{smA, cfg.NumSMs - smA}
+		res, err := RunShared(cfg, []kernels.Profile{a, b}, alloc, 10_000, uint64(seed)+1)
+		if err != nil {
+			t.Logf("RunShared(%s,%s,%v): %v", a.Abbr, b.Abbr, alloc, err)
+			return false
+		}
+		var data uint64
+		for _, app := range res.Apps {
+			if app.Alpha < 0 || app.Alpha > 1 {
+				return false
+			}
+			data += app.DataCycles
+		}
+		if data+res.BusWasted+res.BusIdle > res.BusCycles {
+			return false
+		}
+		for _, s := range res.Snapshots {
+			for _, ai := range s.Apps {
+				if ai.BLPAccess > ai.BLP+1e-9 || ai.BLPBlocked > ai.BLP+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

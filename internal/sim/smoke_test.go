@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+
+	"dasesim/internal/config"
+	"dasesim/internal/kernels"
+)
+
+// TestSmokeAlone runs one streaming kernel alone and checks that the basic
+// machinery produces sane numbers: instructions retire, memory requests are
+// served, and bandwidth accounting adds up.
+func TestSmokeAlone(t *testing.T) {
+	cfg := config.Default()
+	cfg.IntervalCycles = 10_000
+	p, ok := kernels.ByAbbr("SB")
+	if !ok {
+		t.Fatal("kernel SB not found")
+	}
+	res, err := RunAlone(cfg, p, 50_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Apps[0]
+	t.Logf("SB alone: IPC=%.2f alpha=%.3f served=%d bwutil=%.3f rowhit=%.3f l1hit=%.3f blocks=%d",
+		a.IPC, a.Alpha, a.Served, a.BWUtil, a.RowHitRate, a.L1HitRate, a.BlocksDone)
+	t.Logf("bus: cycles=%d wasted=%d idle=%d totalUtil=%.3f",
+		res.BusCycles, res.BusWasted, res.BusIdle, res.BWUtilTotal())
+	if a.Instructions == 0 {
+		t.Fatal("no instructions retired")
+	}
+	if a.Served == 0 {
+		t.Fatal("no DRAM requests served")
+	}
+	if res.BWUtilTotal() <= 0 || res.BWUtilTotal() > 1 {
+		t.Fatalf("nonsensical bandwidth utilization %v", res.BWUtilTotal())
+	}
+	var acct uint64
+	for i := range res.Apps {
+		acct += res.Apps[i].DataCycles
+	}
+	if acct+res.BusWasted+res.BusIdle > res.BusCycles {
+		t.Fatalf("bus accounting exceeds cycles: data=%d wasted=%d idle=%d cycles=%d",
+			acct, res.BusWasted, res.BusIdle, res.BusCycles)
+	}
+	if a.Occupancy <= 0 || a.Occupancy > 1 {
+		t.Fatalf("occupancy %v out of (0,1]", a.Occupancy)
+	}
+	if a.MeanLatency <= 0 || a.P95Latency == 0 {
+		t.Fatalf("latency stats missing: mean=%v p95=%d", a.MeanLatency, a.P95Latency)
+	}
+}
+
+// TestSmokeShared runs two kernels concurrently on an even split.
+func TestSmokeShared(t *testing.T) {
+	cfg := config.Default()
+	cfg.IntervalCycles = 10_000
+	sb, _ := kernels.ByAbbr("SB")
+	sd, _ := kernels.ByAbbr("SD")
+	res, err := RunShared(cfg, []kernels.Profile{sb, sd}, []int{8, 8}, 50_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Apps {
+		t.Logf("%s shared: IPC=%.2f alpha=%.3f served=%d bwutil=%.3f rowhit=%.3f",
+			a.Abbr, a.IPC, a.Alpha, a.Served, a.BWUtil, a.RowHitRate)
+		if a.Instructions == 0 {
+			t.Fatalf("%s retired no instructions", a.Abbr)
+		}
+	}
+	if len(res.Snapshots) < 5 {
+		t.Fatalf("expected >=5 snapshots, got %d", len(res.Snapshots))
+	}
+	s := res.Snapshots[len(res.Snapshots)-1]
+	for _, ai := range s.Apps {
+		t.Logf("%v snap: served=%d blp=%.2f blpacc=%.2f erb=%d ellc=%.1f alpha=%.3f tb=%d/%d",
+			ai.App, ai.Served, ai.BLP, ai.BLPAccess, ai.ERBMiss, ai.ELLCMiss, ai.Alpha, ai.TBShared, ai.TBSum)
+	}
+}

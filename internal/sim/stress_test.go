@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"testing"
+
+	"dasesim/internal/config"
+	"dasesim/internal/kernels"
+)
+
+// The stress tests push the simulator into degenerate configurations that
+// exercise back-pressure, replay and blocking paths which the Table II
+// configuration rarely hits.
+
+func tinyConfig() config.Config {
+	cfg := config.Default()
+	cfg.NumSMs = 1
+	cfg.NumMCs = 1
+	cfg.SM.MaxWarps = 4
+	cfg.SM.MaxBlocks = 1
+	cfg.SM.IssueWidth = 1
+	cfg.L1 = config.CacheConfig{
+		SizeBytes: 2 * 128 * 2, Assoc: 2, LineBytes: 128,
+		HitLatency: 4, MSHRs: 2, MSHRMerge: 1,
+	}
+	cfg.L2 = config.CacheConfig{
+		SizeBytes: 4 * 128 * 2, Assoc: 2, LineBytes: 128,
+		HitLatency: 4, MSHRs: 2, MSHRMerge: 1,
+	}
+	cfg.ICNT.InQueueDepth = 2
+	cfg.ICNT.OutQueueDepth = 2
+	cfg.Mem.QueueDepth = 4
+	cfg.Mem.L2QueueDepth = 2
+	cfg.Mem.NumBanks = 2
+	cfg.ATDSampledSets = 2
+	cfg.IntervalCycles = 2_000
+	return cfg
+}
+
+func TestStressTinyConfigStillServes(t *testing.T) {
+	cfg := tinyConfig()
+	p, _ := kernels.ByAbbr("SB")
+	p.WarpsPerBlock = 4
+	p.CoalescedLines = 8 // maximum fan-out per instruction
+	res, err := RunShared(cfg, []kernels.Profile{p}, []int{1}, 30_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Apps[0].Instructions == 0 || res.Apps[0].Served == 0 {
+		t.Fatalf("tiny config made no progress: %+v", res.Apps[0])
+	}
+	var data uint64
+	for i := range res.Apps {
+		data += res.Apps[i].DataCycles
+	}
+	if data+res.BusWasted+res.BusIdle > res.BusCycles {
+		t.Fatal("bus accounting broken under stress")
+	}
+}
+
+func TestStressTwoAppsOnTwoSMs(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NumSMs = 2
+	a, _ := kernels.ByAbbr("SB")
+	b, _ := kernels.ByAbbr("SD")
+	a.WarpsPerBlock, b.WarpsPerBlock = 4, 4
+	res, err := RunShared(cfg, []kernels.Profile{a, b}, []int{1, 1}, 30_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Apps {
+		if res.Apps[i].Instructions == 0 {
+			t.Fatalf("app %d starved under stress config", i)
+		}
+	}
+}
+
+func TestStressReallocationUnderBackpressure(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NumSMs = 4
+	a, _ := kernels.ByAbbr("SB")
+	b, _ := kernels.ByAbbr("VA")
+	a.WarpsPerBlock, b.WarpsPerBlock = 4, 4
+	g, err := New(cfg, []kernels.Profile{a, b}, []int{2, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(5_000)
+	if err := g.SetAllocation([]int{3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	g.Run(40_000)
+	if err := g.SetAllocation([]int{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	g.Run(40_000)
+	res := g.FinishRun()
+	for i := range res.Apps {
+		if res.Apps[i].Instructions == 0 {
+			t.Fatalf("app %d made no progress across reallocation", i)
+		}
+	}
+	alloc := g.Allocation()
+	if alloc[0] != 1 || alloc[1] != 3 {
+		t.Fatalf("final allocation %v", alloc)
+	}
+}
+
+func TestStressWriteOnlyKernel(t *testing.T) {
+	cfg := tinyConfig()
+	p, _ := kernels.ByAbbr("AT")
+	p.WarpsPerBlock = 4
+	p.WriteFrac = 1
+	res, err := RunShared(cfg, []kernels.Profile{p}, []int{1}, 20_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Apps[0].Served == 0 {
+		t.Fatal("write-only kernel produced no DRAM traffic")
+	}
+}
+
+// TestStressBankCampingStride: a strided kernel whose stride resonates with
+// the bank interleave (96 lines = exactly one row across the 6 partitions)
+// camps on few banks, collapsing bank-level parallelism — the classic
+// transpose pathology. The simulator must survive it and show the BLP
+// collapse in the counters.
+func TestStressBankCampingStride(t *testing.T) {
+	cfg := config.Default()
+	cfg.IntervalCycles = 10_000
+	camping := kernels.Profile{
+		Name: "transpose", Abbr: "TP",
+		MemFrac: 0.2, ComputeLat: 4, CoalescedLines: 1,
+		Pattern: kernels.Strided,
+		// One full row per partition per step: every access of a warp
+		// lands in the same bank of each partition.
+		StrideLines:    uint64(cfg.Mem.RowBytes/cfg.L2.LineBytes) * uint64(cfg.NumMCs) * 16,
+		SeqRun:         8,
+		FootprintLines: 1 << 21,
+		WarpsPerBlock:  4, Blocks: 1024, InstPerWarp: 1000,
+	}
+	friendly := camping
+	friendly.Pattern = kernels.BlockStream
+
+	runBLP := func(p kernels.Profile) float64 {
+		res, err := RunShared(cfg, []kernels.Profile{p}, []int{16}, 40_000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := res.Snapshots[len(res.Snapshots)-1]
+		return last.Apps[0].BLP
+	}
+	campBLP := runBLP(camping)
+	friendBLP := runBLP(friendly)
+	t.Logf("BLP: camping=%.1f friendly=%.1f", campBLP, friendBLP)
+	if campBLP >= friendBLP {
+		t.Fatalf("bank camping did not reduce BLP: %.1f vs %.1f", campBLP, friendBLP)
+	}
+}
+
+func TestStressRefreshPlusWritebackPlusRR(t *testing.T) {
+	cfg := config.Default()
+	cfg.IntervalCycles = 10_000
+	cfg.Mem.TREFI = 5_000
+	cfg.Mem.TRFC = 200
+	cfg.Mem.AppAwareRR = true
+	cfg.L2.Writeback = true
+	a, _ := kernels.ByAbbr("SB")
+	b, _ := kernels.ByAbbr("CT")
+	res, err := RunShared(cfg, []kernels.Profile{a, b}, []int{8, 8}, 40_000, 1, WithPriorityEpochs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Apps {
+		if res.Apps[i].Instructions == 0 {
+			t.Fatalf("app %d starved with all options on", i)
+		}
+	}
+	var data uint64
+	for i := range res.Apps {
+		data += res.Apps[i].DataCycles
+	}
+	if data+res.BusWasted+res.BusIdle > res.BusCycles {
+		t.Fatal("bus accounting broken with refresh+writeback+RR")
+	}
+}

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"testing"
+
+	"dasesim/internal/config"
+	"dasesim/internal/kernels"
+)
+
+// TestSweepLocality is a calibration aid: it maps ScatterFrac/SeqRun to
+// saturated bandwidth utilisation for a streaming kernel. Run manually with
+// -run SweepLocality -v; skipped in -short mode.
+func TestSweepLocality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("manual calibration sweep")
+	}
+	cfg := config.Default()
+	base, _ := kernels.ByAbbr("SB")
+	for _, sf := range []float64{0, 0.1, 0.25, 0.4} {
+		for _, run := range []int{8, 24, 64} {
+			p := base
+			p.ScatterFrac = sf
+			p.SeqRun = run
+			res, err := RunAlone(cfg, p, 60_000, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := res.Apps[0]
+			t.Logf("sf=%.2f run=%-3d util=%.3f rowhit=%.3f IPC=%5.2f alpha=%.3f",
+				sf, run, a.BWUtil, a.RowHitRate, a.IPC, a.Alpha)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package smcore
+
+import (
+	"testing"
+
+	"dasesim/internal/kernels"
+	"dasesim/internal/memreq"
+)
+
+// TestBarrierSynchronisesBlock: with __syncthreads every 10 instructions,
+// warps of a block cannot drift more than one barrier period apart. We
+// starve one warp's memory replies briefly to force divergence and check
+// the others wait.
+func TestBarrierSynchronisesBlock(t *testing.T) {
+	p := computeProfile()
+	p.BarrierEvery = 10
+	p.InstPerWarp = 100
+	sm := newSM()
+	src := &fakeSource{p: p, blocks: 1}
+	sm.Assign(0, src)
+	for now := uint64(0); now < 20_000; now++ {
+		sm.Cycle(now)
+		if now > 0 && sm.Idle() {
+			break
+		}
+	}
+	if !sm.Idle() {
+		t.Fatal("barrier block never retired")
+	}
+	st := sm.Stats()
+	// 100 instructions per warp, 4 warps: barriers consume instruction
+	// slots too, so the total stays 400.
+	if st.Issued != 400 {
+		t.Fatalf("issued %d, want 400", st.Issued)
+	}
+}
+
+// TestBarrierWithMemoryOps: barriers must also release when warps arrive
+// from memory waits at different times.
+func TestBarrierWithMemoryOps(t *testing.T) {
+	p := memProfile()
+	p.BarrierEvery = 8
+	p.InstPerWarp = 64
+	sm := newSM()
+	src := &fakeSource{p: p, blocks: 2}
+	sm.Assign(0, src)
+	for now := uint64(0); now < 100_000; now++ {
+		sm.Cycle(now)
+		for sm.OutboxLen() > 0 {
+			r := sm.PopOutbox()
+			if r.Kind == memreq.Read {
+				sm.DeliverReply(r, now)
+			}
+		}
+		if now > 0 && sm.Idle() {
+			break
+		}
+	}
+	if !sm.Idle() {
+		t.Fatal("memory block with barriers never retired")
+	}
+	if src.finished != 2 {
+		t.Fatalf("finished %d blocks, want 2", src.finished)
+	}
+}
+
+// TestBarrierKeepsBlocksIndependent: two resident blocks must not wait on
+// each other's barriers.
+func TestBarrierKeepsBlocksIndependent(t *testing.T) {
+	p := computeProfile()
+	p.BarrierEvery = 5
+	p.InstPerWarp = 50
+	sm := newSM()
+	src := &fakeSource{p: p, blocks: 8}
+	sm.Assign(0, src)
+	for now := uint64(0); now < 50_000; now++ {
+		sm.Cycle(now)
+		if now > 0 && sm.Idle() {
+			break
+		}
+	}
+	if !sm.Idle() {
+		t.Fatal("blocks deadlocked on barriers")
+	}
+	if src.finished != 8 {
+		t.Fatalf("finished %d blocks, want 8", src.finished)
+	}
+}
+
+// TestBarrierRestoresLocality: a barrier-synchronised streaming kernel must
+// keep its warps' first-lines adjacent even late in the block.
+func TestBarrierRestoresLocality(t *testing.T) {
+	p, _ := kernels.ByAbbr("VA")
+	p.ScatterFrac = 0
+	p.BarrierEvery = 50
+	// Same instruction positions on all warps: barrier ops land at the
+	// same indices, so memory access n still pairs up across warps.
+	a := kernels.NewWarpStream(&p, 0, 1, 0, 3)
+	b := kernels.NewWarpStream(&p, 0, 1, 1, 3)
+	var op kernels.Op
+	nthMemLine := func(ws *kernels.WarpStream, n int) uint64 {
+		seen := 0
+		for ws.Next(&op) {
+			if op.Mem {
+				seen++
+				if seen == n {
+					return op.Lines[0] / kernels.LineBytes
+				}
+			}
+		}
+		t.Fatal("stream exhausted")
+		return 0
+	}
+	la := nthMemLine(a, 5)
+	lb := nthMemLine(b, 5)
+	if lb != la+uint64(p.CoalescedLines) {
+		t.Fatalf("5th accesses not adjacent with barriers: %d vs %d", la, lb)
+	}
+}

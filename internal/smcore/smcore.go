@@ -1,0 +1,520 @@
+// Package smcore models one streaming multiprocessor: resident thread
+// blocks, warps with a loose round-robin issue scheduler, a private L1 data
+// cache with MSHR merging, memory-request injection with back-pressure, and
+// the α (memory-stall-fraction) counter DASE reads (paper Eq. 15).
+//
+// The timing abstraction: a warp issues at most one instruction per issue
+// slot; a compute instruction makes the warp dependent-stall for its
+// ComputeLat; a load blocks the warp until all its lines have returned
+// (from L1 after HitLatency, or from L2/DRAM via the interconnect); stores
+// are fire-and-forget. When no warp can issue and at least one warp is
+// waiting on memory, the cycle is a memory-stall cycle.
+package smcore
+
+import (
+	"fmt"
+
+	"dasesim/internal/cache"
+	"dasesim/internal/config"
+	"dasesim/internal/kernels"
+	"dasesim/internal/memreq"
+	"dasesim/internal/stats"
+)
+
+// BlockSource supplies thread blocks of one application to SMs. NextBlock
+// returns the warp streams of the next block, or ok=false when no block is
+// currently available (kernel fully dispatched). BlockFinished is called
+// when every warp of a previously dispatched block has retired.
+// WarpsPerBlock exposes the block width so an SM can check residency limits
+// before consuming a block.
+type BlockSource interface {
+	NextBlock() (warps []*kernels.WarpStream, ok bool)
+	BlockFinished()
+	WarpsPerBlock() int
+}
+
+type warpState uint8
+
+const (
+	warpFree warpState = iota
+	warpReady
+	warpComputeWait
+	warpMemWait
+	warpBarrierWait
+)
+
+const wheelSize = 128 // > L1 hit latency and any ComputeLat
+
+type wheelEntry struct {
+	warp int
+	kind uint8 // 0 = compute wake, 1 = line arrival
+}
+
+type warp struct {
+	state       warpState
+	stream      *kernels.WarpStream
+	block       int // resident-block slot
+	outstanding int // memory lines still in flight for the blocking load
+	pendingOp   kernels.Op
+	pendingIdx  int // next line of pendingOp to process; -1 = no pending op
+}
+
+// Stats is a snapshot of per-SM activity counters. All counters accumulate
+// since the last ResetStats and belong to the SM's current owner app.
+type Stats struct {
+	Cycles       uint64
+	ActiveCycles uint64 // cycles with at least one resident warp
+	// StallUnits accumulates the fraction of issue slots lost per active
+	// cycle while at least one warp was blocked on memory: a cycle that
+	// issues nothing while warps wait on loads contributes 1, a cycle that
+	// fills half its slots contributes 0.5. Alpha = StallUnits /
+	// ActiveCycles is the memory-stall fraction of Eq. 15.
+	StallUnits  float64
+	Issued      uint64 // warp instructions issued
+	MemInsts    uint64
+	LoadsL1Hit  uint64
+	LoadsL1Miss uint64
+	BlocksDone  uint64
+
+	// MemLat accumulates load round-trip latencies (issue to reply at the
+	// SM) and LatHist buckets them for tail analysis.
+	MemLat  stats.Online
+	LatHist stats.LogHist
+}
+
+// Alpha returns the fraction of the SM pipeline lost to memory waiting (the
+// α of Eq. 15).
+func (s Stats) Alpha() float64 {
+	if s.ActiveCycles == 0 {
+		return 0
+	}
+	return s.StallUnits / float64(s.ActiveCycles)
+}
+
+// IPC returns issued warp instructions per cycle over the snapshot window.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Issued) / float64(s.Cycles)
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	ID  int
+	cfg config.Config
+
+	owner    memreq.AppID
+	source   BlockSource
+	draining bool
+
+	l1   *cache.Cache
+	amap memreq.AddrMap
+
+	warps     []warp
+	freeSlots []int
+	runnable  []int // ready warp indices, issued round-robin
+	wheel     [wheelSize][]wheelEntry
+
+	resident   int // resident thread blocks
+	blockWarps []int
+	// blockAtBarrier counts warps of each resident block currently waiting
+	// at a block-wide barrier.
+	blockAtBarrier []int
+	maxResident    int
+
+	// outbox holds requests accepted by the LSU but not yet injected into
+	// the interconnect; when it backs up, memory issue throttles.
+	outbox []*memreq.Request
+
+	// wakeLists maps an in-flight L1-miss line address to the warps
+	// blocked on it (the MSHR merge lists).
+	wakeLists map[uint64][]int
+
+	stats Stats
+}
+
+const outboxLimit = 48
+
+// New builds an SM.
+func New(id int, cfg config.Config, amap memreq.AddrMap) *SM {
+	maxRes := cfg.SM.MaxBlocks
+	sm := &SM{
+		ID:             id,
+		cfg:            cfg,
+		owner:          memreq.InvalidApp,
+		l1:             cache.NewCache(cfg.L1, 1),
+		amap:           amap,
+		warps:          make([]warp, cfg.SM.MaxWarps),
+		maxResident:    maxRes,
+		blockWarps:     make([]int, maxRes),
+		blockAtBarrier: make([]int, maxRes),
+		wakeLists:      make(map[uint64][]int),
+	}
+	sm.freeSlots = make([]int, 0, cfg.SM.MaxWarps)
+	for i := cfg.SM.MaxWarps - 1; i >= 0; i-- {
+		sm.freeSlots = append(sm.freeSlots, i)
+	}
+	for i := range sm.warps {
+		sm.warps[i].pendingIdx = -1
+	}
+	return sm
+}
+
+// Owner returns the application currently running on the SM.
+func (sm *SM) Owner() memreq.AppID { return sm.owner }
+
+// Assign gives the SM to an application. The SM must be idle (drained).
+func (sm *SM) Assign(app memreq.AppID, src BlockSource) {
+	if sm.resident != 0 {
+		panic(fmt.Sprintf("smcore: assigning SM %d while %d blocks resident", sm.ID, sm.resident))
+	}
+	if len(sm.wakeLists) != 0 {
+		panic(fmt.Sprintf("smcore: assigning SM %d with in-flight loads", sm.ID))
+	}
+	sm.owner = app
+	sm.source = src
+	sm.draining = false
+	sm.l1.Reset() // context switch flushes the private cache
+}
+
+// Drain stops new thread-block dispatch; the SM becomes idle once resident
+// blocks finish (the SM-draining reallocation of §7).
+func (sm *SM) Drain() { sm.draining = true }
+
+// Undrain resumes thread-block dispatch on a draining SM (a cancelled
+// reassignment).
+func (sm *SM) Undrain() { sm.draining = false }
+
+// Draining reports whether the SM is refusing new blocks.
+func (sm *SM) Draining() bool { return sm.draining }
+
+// Idle reports whether the SM has no resident work.
+func (sm *SM) Idle() bool { return sm.resident == 0 }
+
+// ResidentBlocks returns the number of thread blocks currently resident.
+func (sm *SM) ResidentBlocks() int { return sm.resident }
+
+// Stats returns a copy of the activity counters.
+func (sm *SM) Stats() Stats { return sm.stats }
+
+// ResetStats zeroes the activity counters (start of an interval or after a
+// reallocation).
+func (sm *SM) ResetStats() { sm.stats = Stats{} }
+
+// Outbox returns the pending outbound requests; the simulator drains it via
+// PopOutbox as interconnect ports free up.
+func (sm *SM) OutboxLen() int { return len(sm.outbox) }
+
+// PeekOutbox returns the head outbound request without removing it.
+func (sm *SM) PeekOutbox() *memreq.Request {
+	if len(sm.outbox) == 0 {
+		return nil
+	}
+	return sm.outbox[0]
+}
+
+// PopOutbox removes and returns the head outbound request.
+func (sm *SM) PopOutbox() *memreq.Request {
+	r := sm.outbox[0]
+	copy(sm.outbox, sm.outbox[1:])
+	sm.outbox = sm.outbox[:len(sm.outbox)-1]
+	return r
+}
+
+// maxBlocksByWarps returns how many blocks of the given width fit.
+func (sm *SM) maxBlocksFor(warpsPerBlock int) int {
+	byWarps := sm.cfg.SM.MaxWarps / warpsPerBlock
+	if byWarps < 1 {
+		byWarps = 1
+	}
+	if byWarps > sm.maxResident {
+		byWarps = sm.maxResident
+	}
+	return byWarps
+}
+
+// tryDispatch fills free block slots from the source, respecting the
+// residency limits (MaxBlocks and warp capacity).
+func (sm *SM) tryDispatch() {
+	if sm.draining || sm.source == nil {
+		return
+	}
+	wpb := sm.source.WarpsPerBlock()
+	for sm.resident < sm.maxBlocksFor(wpb) && len(sm.freeSlots) >= wpb {
+		slot := -1
+		for i := 0; i < sm.maxResident; i++ {
+			if sm.blockWarps[i] == 0 {
+				slot = i
+				break
+			}
+		}
+		if slot == -1 {
+			return
+		}
+		streams, ok := sm.source.NextBlock()
+		if !ok {
+			return
+		}
+		if len(streams) > len(sm.freeSlots) {
+			panic("smcore: block dispatched beyond warp capacity")
+		}
+		sm.blockWarps[slot] = len(streams)
+		sm.resident++
+		for _, ws := range streams {
+			wi := sm.freeSlots[len(sm.freeSlots)-1]
+			sm.freeSlots = sm.freeSlots[:len(sm.freeSlots)-1]
+			w := &sm.warps[wi]
+			w.state = warpReady
+			w.stream = ws
+			w.block = slot
+			w.outstanding = 0
+			w.pendingIdx = -1
+			sm.runnable = append(sm.runnable, wi)
+		}
+	}
+}
+
+// retireWarp releases a finished warp and possibly its block.
+func (sm *SM) retireWarp(wi int) {
+	w := &sm.warps[wi]
+	slot := w.block
+	w.state = warpFree
+	w.stream = nil
+	sm.freeSlots = append(sm.freeSlots, wi)
+	sm.blockWarps[slot]--
+	if sm.blockWarps[slot] == 0 {
+		sm.resident--
+		sm.stats.BlocksDone++
+		if sm.source != nil {
+			sm.source.BlockFinished()
+		}
+	}
+}
+
+// Cycle advances the SM one core cycle at time now.
+func (sm *SM) Cycle(now uint64) {
+	sm.stats.Cycles++
+	sm.tryDispatch()
+
+	// Wake warps whose timer expired.
+	slotIdx := now % wheelSize
+	if entries := sm.wheel[slotIdx]; len(entries) > 0 {
+		for _, e := range entries {
+			w := &sm.warps[e.warp]
+			switch e.kind {
+			case 0: // compute wake
+				if w.state == warpComputeWait {
+					w.state = warpReady
+					sm.runnable = append(sm.runnable, e.warp)
+				}
+			case 1: // L1-hit line arrival
+				sm.lineArrived(e.warp)
+			}
+		}
+		sm.wheel[slotIdx] = sm.wheel[slotIdx][:0]
+	}
+
+	hasResident := sm.resident > 0
+	if hasResident {
+		sm.stats.ActiveCycles++
+	}
+
+	issued := 0
+	blocked := false
+	attempts := len(sm.runnable)
+	for issued < sm.cfg.SM.IssueWidth && attempts > 0 && len(sm.runnable) > 0 {
+		attempts--
+		wi := sm.runnable[0]
+		copy(sm.runnable, sm.runnable[1:])
+		sm.runnable = sm.runnable[:len(sm.runnable)-1]
+		switch sm.issueWarp(wi, now) {
+		case issueOK:
+			issued++
+		case issueBlocked:
+			// Structural hazard (MSHR/outbox full): requeue and stop
+			// trying this cycle — the hazard will not clear mid-cycle.
+			sm.runnable = append(sm.runnable, wi)
+			attempts = 0
+			blocked = true
+		case issueRetired, issueWaiting:
+			// warp left the runnable queue
+		}
+	}
+
+	if hasResident && issued < sm.cfg.SM.IssueWidth {
+		// Attribute lost issue slots to memory in proportion to the warps
+		// blocked on loads vs compute latency; memory back-pressure
+		// (blocked outbox/MSHRs) is fully memory-attributable.
+		lost := float64(sm.cfg.SM.IssueWidth-issued) / float64(sm.cfg.SM.IssueWidth)
+		if blocked {
+			sm.stats.StallUnits += lost
+		} else {
+			mem, comp := sm.waitCounts()
+			if mem > 0 {
+				sm.stats.StallUnits += lost * float64(mem) / float64(mem+comp)
+			}
+		}
+	}
+}
+
+// waitCounts returns how many warps are blocked on memory vs on compute
+// dependencies.
+func (sm *SM) waitCounts() (mem, comp int) {
+	for i := range sm.warps {
+		switch sm.warps[i].state {
+		case warpMemWait:
+			mem++
+		case warpComputeWait:
+			comp++
+		}
+	}
+	return mem, comp
+}
+
+type issueResult uint8
+
+const (
+	issueOK issueResult = iota
+	issueBlocked
+	issueWaiting
+	issueRetired
+)
+
+// issueWarp issues (or resumes) one instruction for warp wi.
+func (sm *SM) issueWarp(wi int, now uint64) issueResult {
+	w := &sm.warps[wi]
+	if w.pendingIdx < 0 {
+		if !w.stream.Next(&w.pendingOp) {
+			sm.retireWarp(wi)
+			return issueRetired
+		}
+		sm.stats.Issued++
+		op := &w.pendingOp
+		if op.Barrier {
+			return sm.arriveBarrier(wi, now)
+		}
+		if !op.Mem {
+			w.state = warpComputeWait
+			lat := uint64(op.ComputeLat)
+			if lat == 0 {
+				lat = 1
+			}
+			sm.wheel[(now+lat)%wheelSize] = append(sm.wheel[(now+lat)%wheelSize], wheelEntry{wi, 0})
+			return issueOK
+		}
+		sm.stats.MemInsts++
+		w.pendingIdx = 0
+	}
+
+	op := &w.pendingOp
+	for w.pendingIdx < op.NLines {
+		addr := sm.amap.LineAddr(op.Lines[w.pendingIdx])
+		if op.Write {
+			// Write-through, no-allocate: stores bypass L1 and do not
+			// block the warp, but need outbox space.
+			if len(sm.outbox) >= outboxLimit {
+				return issueBlocked
+			}
+			sm.outbox = append(sm.outbox, &memreq.Request{
+				App: sm.owner, SM: sm.ID, Warp: wi,
+				Addr: addr, Kind: memreq.Write, Issued: now,
+			})
+			w.pendingIdx++
+			continue
+		}
+		set := sm.amap.CacheSet(addr, sm.l1.Sets())
+		// Peek outbox space before a potentially mutating access.
+		if len(sm.outbox) >= outboxLimit && !sm.l1.Probe(set, addr) {
+			return issueBlocked
+		}
+		switch sm.l1.Access(0, set, addr) {
+		case cache.Hit:
+			sm.stats.LoadsL1Hit++
+			w.outstanding++
+			lat := sm.cfg.L1.HitLatency
+			sm.wheel[(now+lat)%wheelSize] = append(sm.wheel[(now+lat)%wheelSize], wheelEntry{wi, 1})
+		case cache.Miss:
+			sm.stats.LoadsL1Miss++
+			w.outstanding++
+			sm.wakeLists[addr] = append(sm.wakeLists[addr], wi)
+			sm.outbox = append(sm.outbox, &memreq.Request{
+				App: sm.owner, SM: sm.ID, Warp: wi,
+				Addr: addr, Kind: memreq.Read, Issued: now,
+			})
+		case cache.MergedMiss:
+			sm.stats.LoadsL1Miss++
+			w.outstanding++
+			sm.wakeLists[addr] = append(sm.wakeLists[addr], wi)
+		case cache.Blocked:
+			return issueBlocked
+		}
+		w.pendingIdx++
+	}
+
+	// All lines processed.
+	w.pendingIdx = -1
+	if w.outstanding > 0 {
+		w.state = warpMemWait
+		return issueOK
+	}
+	// Pure-store instruction: warp continues next cycle.
+	w.state = warpComputeWait
+	sm.wheel[(now+1)%wheelSize] = append(sm.wheel[(now+1)%wheelSize], wheelEntry{wi, 0})
+	return issueOK
+}
+
+// arriveBarrier parks the warp at its block's barrier, releasing everyone
+// when the last sibling arrives (__syncthreads semantics).
+func (sm *SM) arriveBarrier(wi int, now uint64) issueResult {
+	w := &sm.warps[wi]
+	slot := w.block
+	sm.blockAtBarrier[slot]++
+	if sm.blockAtBarrier[slot] < sm.blockWarps[slot] {
+		w.state = warpBarrierWait
+		return issueOK
+	}
+	// Last arrival: release the whole block next cycle.
+	sm.blockAtBarrier[slot] = 0
+	for i := range sm.warps {
+		o := &sm.warps[i]
+		if o.state == warpBarrierWait && o.block == slot {
+			o.state = warpComputeWait
+			sm.wheel[(now+1)%wheelSize] = append(sm.wheel[(now+1)%wheelSize], wheelEntry{i, 0})
+		}
+	}
+	w.state = warpComputeWait
+	sm.wheel[(now+1)%wheelSize] = append(sm.wheel[(now+1)%wheelSize], wheelEntry{wi, 0})
+	return issueOK
+}
+
+// lineArrived delivers one line of data to a waiting warp.
+func (sm *SM) lineArrived(wi int) {
+	w := &sm.warps[wi]
+	if w.outstanding > 0 {
+		w.outstanding--
+	}
+	if w.outstanding == 0 && w.state == warpMemWait {
+		w.state = warpReady
+		sm.runnable = append(sm.runnable, wi)
+	}
+}
+
+// DeliverReply processes a read reply arriving from the interconnect at
+// cycle now: fills the L1 line, records the round-trip latency, and wakes
+// every warp merged on it.
+func (sm *SM) DeliverReply(r *memreq.Request, now uint64) {
+	if now >= r.Issued {
+		lat := now - r.Issued
+		sm.stats.MemLat.Add(float64(lat))
+		sm.stats.LatHist.Add(lat)
+	}
+	addr := r.Addr
+	set := sm.amap.CacheSet(addr, sm.l1.Sets())
+	sm.l1.Fill(0, set, addr)
+	waiters := sm.wakeLists[addr]
+	delete(sm.wakeLists, addr)
+	for _, wi := range waiters {
+		sm.lineArrived(wi)
+	}
+}

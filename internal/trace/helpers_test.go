@@ -1,0 +1,26 @@
+package trace
+
+import (
+	"testing"
+
+	"dasesim/internal/config"
+	"dasesim/internal/kernels"
+	"dasesim/internal/sim"
+)
+
+func simDefault() config.Config {
+	cfg := config.Default()
+	cfg.IntervalCycles = 10_000
+	return cfg
+}
+
+func runSmall(t *testing.T, cfg config.Config) *sim.Result {
+	t.Helper()
+	a, _ := kernels.ByAbbr("QR")
+	b, _ := kernels.ByAbbr("CT")
+	res, err := sim.RunShared(cfg, []kernels.Profile{a, b}, []int{8, 8}, 20_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}

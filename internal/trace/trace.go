@@ -1,0 +1,80 @@
+// Package trace serialises per-interval simulation snapshots as CSV for
+// offline analysis (plotting slowdown estimates over time, counter
+// debugging, workload characterisation).
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"dasesim/internal/sim"
+)
+
+// Header is the CSV column set, one row per (interval, app).
+var Header = []string{
+	"cycle", "interval_cycles", "app", "sms",
+	"alpha", "issued", "mem_insts",
+	"served", "enqueued", "erb_miss", "ellc_miss",
+	"row_hits", "row_misses", "data_cycles",
+	"blp", "blp_access", "blp_blocked",
+	"tb_sum", "tb_shared", "prio_served", "prio_cycles",
+	"bus_cycles", "bus_wasted", "bus_idle",
+}
+
+// Writer streams interval snapshots to CSV.
+type Writer struct {
+	w     *csv.Writer
+	wrote bool
+}
+
+// NewWriter wraps an io.Writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: csv.NewWriter(w)}
+}
+
+// WriteSnapshot appends one row per application.
+func (t *Writer) WriteSnapshot(s *sim.IntervalSnapshot) error {
+	if !t.wrote {
+		if err := t.w.Write(Header); err != nil {
+			return fmt.Errorf("trace: header: %w", err)
+		}
+		t.wrote = true
+	}
+	for i := range s.Apps {
+		a := &s.Apps[i]
+		row := []string{
+			u(s.Cycle), u(s.IntervalCycles), strconv.Itoa(int(a.App)), strconv.Itoa(a.SMs),
+			f(a.Alpha), u(a.Issued), u(a.MemInsts),
+			u(a.Served), u(a.Enqueued), u(a.ERBMiss), f(a.ELLCMiss),
+			u(a.RowHits), u(a.RowMisses), u(a.DataCycles),
+			f(a.BLP), f(a.BLPAccess), f(a.BLPBlocked),
+			strconv.Itoa(a.TBSum), strconv.Itoa(a.TBShared), u(a.PrioServed), u(a.PrioCycles),
+			u(s.BusCycles), u(s.BusWasted), u(s.BusIdle),
+		}
+		if err := t.w.Write(row); err != nil {
+			return fmt.Errorf("trace: row: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteAll writes every snapshot of a finished run and flushes.
+func (t *Writer) WriteAll(snaps []sim.IntervalSnapshot) error {
+	for i := range snaps {
+		if err := t.WriteSnapshot(&snaps[i]); err != nil {
+			return err
+		}
+	}
+	return t.Flush()
+}
+
+// Flush flushes buffered rows and reports any write error.
+func (t *Writer) Flush() error {
+	t.w.Flush()
+	return t.w.Error()
+}
+
+func u(v uint64) string  { return strconv.FormatUint(v, 10) }
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }

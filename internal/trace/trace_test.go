@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"dasesim/internal/sim"
+)
+
+func sampleSnaps() []sim.IntervalSnapshot {
+	return []sim.IntervalSnapshot{
+		{
+			Cycle: 50_000, IntervalCycles: 50_000,
+			BusCycles: 300_000, BusWasted: 100_000, BusIdle: 50_000,
+			Apps: []sim.AppInterval{
+				{App: 0, SMs: 8, Alpha: 0.5, Served: 100, BLP: 12.5},
+				{App: 1, SMs: 8, Alpha: 0.25, Served: 50, ELLCMiss: 7.5},
+			},
+		},
+		{
+			Cycle: 100_000, IntervalCycles: 50_000,
+			Apps: []sim.AppInterval{{App: 0, SMs: 16}, {App: 1}},
+		},
+	}
+}
+
+func TestWriteAllShape(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	if err := w.WriteAll(sampleSnaps()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 2 snapshots x 2 apps.
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	if len(rows[0]) != len(Header) {
+		t.Fatalf("header width %d != %d", len(rows[0]), len(Header))
+	}
+	for i, r := range rows {
+		if len(r) != len(Header) {
+			t.Fatalf("row %d width %d", i, len(r))
+		}
+	}
+	if rows[1][0] != "50000" || rows[1][2] != "0" || rows[2][2] != "1" {
+		t.Fatalf("unexpected leading cells: %v / %v", rows[1][:4], rows[2][:4])
+	}
+}
+
+func TestHeaderOnlyOnce(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	snaps := sampleSnaps()
+	if err := w.WriteSnapshot(&snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSnapshot(&snaps[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), "cycle,interval_cycles") != 1 {
+		t.Fatal("header repeated")
+	}
+}
+
+func TestRealRunTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	cfg := simDefault()
+	var b strings.Builder
+	res := runSmall(t, cfg)
+	if err := NewWriter(&b).WriteAll(res.Snapshots); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("trace too short: %d rows", len(rows))
+	}
+}

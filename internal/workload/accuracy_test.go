@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"testing"
+
+	"dasesim/internal/baseline"
+	"dasesim/internal/core"
+	"dasesim/internal/kernels"
+	"dasesim/internal/sim"
+)
+
+// TestAccuracySample evaluates a handful of representative pairs and logs
+// per-estimator errors; it asserts only that DASE beats the baselines on
+// average, the paper's headline claim.
+func TestAccuracySample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow accuracy sample")
+	}
+	opt := DefaultOptions(150_000)
+	opt.Estimators = []core.Estimator{core.New(core.Options{})}
+	opt.EpochEstimators = []core.Estimator{baseline.NewMISE(), baseline.NewASM()}
+	cache := NewAloneCache(opt.Cfg, opt.SharedCycles, opt.Seed)
+	pairs := [][2]string{{"SB", "SD"}, {"SA", "SD"}, {"VA", "CT"}, {"QR", "BG"}, {"BS", "SA"}, {"SN", "NN"}}
+	sums := map[string]float64{}
+	n := 0
+	for _, pr := range pairs {
+		a, _ := kernels.ByAbbr(pr[0])
+		b, _ := kernels.ByAbbr(pr[1])
+		combo := Combo{Profiles: []kernels.Profile{a, b}}
+		ev, err := Evaluate(opt, combo, sim.EvenAllocation(opt.Cfg.NumSMs, 2), cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: actual=%.2f/%.2f unf=%.2f", combo.Name(), ev.Actual[0], ev.Actual[1], ev.Unfairness)
+		for _, est := range []core.Estimator{opt.Estimators[0], opt.EpochEstimators[0], opt.EpochEstimators[1]} {
+			e := ev.Errors[est.Name()]
+			v := ev.Estimates[est.Name()]
+			t.Logf("  %-4s est=%.2f/%.2f err=%.1f%%/%.1f%%", est.Name(), v[0], v[1], e[0]*100, e[1]*100)
+			sums[est.Name()] += e[0] + e[1]
+		}
+		n += 2
+	}
+	for name, s := range sums {
+		t.Logf("MEAN %-4s %.1f%%", name, s/float64(n)*100)
+	}
+	if sums["DASE"] >= sums["MISE"] || sums["DASE"] >= sums["ASM"] {
+		t.Errorf("DASE (%.3f) expected more accurate than MISE (%.3f) and ASM (%.3f)",
+			sums["DASE"]/float64(n), sums["MISE"]/float64(n), sums["ASM"]/float64(n))
+	}
+}

@@ -1,0 +1,106 @@
+// Command dased is the DASE simulation daemon: it serves the simulator as a
+// JSON HTTP API with a bounded worker pool, a FIFO job queue, a
+// content-addressed result cache, and Prometheus metrics.
+//
+// Usage:
+//
+//	dased                          # listen on :8844 with defaults
+//	dased -addr :9000 -workers 8 -queue 128
+//	dased -config gpu.json -kernels custom.json
+//
+// Example session:
+//
+//	curl -s localhost:8844/v1/jobs -d '{"kernels":["SB","SD"],"slowdowns":true}'
+//	curl -s localhost:8844/v1/jobs/job-1?wait_ms=30000
+//	curl -s localhost:8844/metrics
+//
+// SIGINT/SIGTERM trigger a graceful shutdown that drains queued and running
+// jobs (bounded by -drain-grace).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dasesim"
+	"dasesim/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8844", "HTTP listen address")
+	workers := flag.Int("workers", 0, "simulation worker pool size (default: GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 64, "job queue depth; beyond it submissions get 429")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job wall-time limit")
+	defaultCycles := flag.Uint64("default-cycles", 300_000, "cycle budget for jobs that omit cycles")
+	maxCycles := flag.Uint64("max-cycles", 20_000_000, "largest accepted cycle budget")
+	cacheEntries := flag.Int("cache", 512, "result-cache capacity in entries")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "shutdown drain budget before running jobs are hard-cancelled")
+	configPath := flag.String("config", "", "load the GPU configuration from this JSON file")
+	kernelsPath := flag.String("kernels", "", "load custom kernel profiles from this JSON file")
+	flag.Parse()
+
+	opts := server.Options{
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		JobTimeout:    *jobTimeout,
+		DefaultCycles: *defaultCycles,
+		MaxCycles:     *maxCycles,
+		CacheEntries:  *cacheEntries,
+	}
+	if *configPath != "" {
+		cfg, err := dasesim.LoadConfig(*configPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Cfg = cfg
+	}
+	if *kernelsPath != "" {
+		catalogue, err := dasesim.LoadKernels(*kernelsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Catalogue = catalogue
+	}
+
+	srv, err := server.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("dased listening on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("dased shutting down; draining jobs (grace %s)", *drainGrace)
+	grace, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(grace); err != nil {
+		log.Printf("dased http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(grace); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("dased drain: %v", err)
+	}
+	log.Printf("dased stopped")
+}

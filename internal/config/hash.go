@@ -1,0 +1,21 @@
+package config
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+)
+
+// Fingerprint returns a stable content hash of the configuration for use in
+// cache keys: equal configurations produce equal fingerprints, and any
+// exported-field change produces a different one. The hash is computed over
+// the canonical JSON encoding (encoding/json emits struct fields in
+// declaration order), so it is stable across processes and runs.
+func (c Config) Fingerprint() string {
+	data, err := json.Marshal(c)
+	if err != nil {
+		// Config holds only plain scalar fields; Marshal cannot fail.
+		panic(fmt.Sprintf("config: fingerprint: %v", err))
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data))
+}

@@ -5,6 +5,8 @@
 package sched
 
 import (
+	"context"
+
 	"dasesim/internal/config"
 	"dasesim/internal/core"
 	"dasesim/internal/kernels"
@@ -28,6 +30,12 @@ func (Even) OnInterval(*sim.GPU, *sim.IntervalSnapshot) {}
 
 // Run executes the kernels under the given policy and returns the result.
 func Run(cfg config.Config, ps []kernels.Profile, alloc []int, cycles uint64, seed uint64, pol Policy, opts ...sim.Option) (*sim.Result, error) {
+	return RunContext(context.Background(), cfg, ps, alloc, cycles, seed, pol, opts...)
+}
+
+// RunContext is Run with cancellation: the run aborts (returning ctx.Err())
+// when ctx is cancelled or its deadline passes.
+func RunContext(ctx context.Context, cfg config.Config, ps []kernels.Profile, alloc []int, cycles uint64, seed uint64, pol Policy, opts ...sim.Option) (*sim.Result, error) {
 	g, err := sim.New(cfg, ps, alloc, seed, opts...)
 	if err != nil {
 		return nil, err
@@ -37,7 +45,9 @@ func Run(cfg config.Config, ps []kernels.Profile, alloc []int, cycles uint64, se
 			pol.OnInterval(gg, snap)
 		}
 	}
-	g.Run(cycles)
+	if err := g.RunContext(ctx, cycles); err != nil {
+		return nil, err
+	}
 	return g.FinishRun(), nil
 }
 

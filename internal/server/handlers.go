@@ -1,0 +1,176 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// errQueueFull and errDraining classify submission failures into HTTP
+// statuses (429 and 503).
+var (
+	errQueueFull = errors.New("job queue full")
+	errDraining  = errors.New("server shutting down")
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs        submit a job (202, body: job view)
+//	GET    /v1/jobs        list job views, newest last
+//	GET    /v1/jobs/{id}   one job view (?wait_ms=N long-polls completion)
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /v1/kernels     the kernel catalogue
+//	GET    /healthz        liveness probe
+//	GET    /metrics        Prometheus text metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/kernels", s.handleKernels)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.logMiddleware(mux)
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// logMiddleware emits one structured line per request.
+func (s *Server) logMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		s.logf("method=%s path=%s status=%d dur=%s",
+			r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError renders a JSON error body.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	job, err := s.submit(req)
+	switch {
+	case errors.Is(err, errQueueFull):
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+	default:
+		s.mu.Lock()
+		v := job.view()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, v)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.jobOrder))
+	for _, id := range s.jobOrder {
+		if j, ok := s.jobs[id]; ok {
+			views = append(views, j.view())
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.getJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if ms, err := strconv.Atoi(r.URL.Query().Get("wait_ms")); err == nil && ms > 0 {
+		// Long-poll: return early when the job reaches a terminal state.
+		select {
+		case <-job.done:
+		case <-time.After(time.Duration(ms) * time.Millisecond):
+		case <-r.Context().Done():
+		}
+	}
+	s.mu.Lock()
+	v := job.view()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	found, canceled := s.cancelJob(id)
+	switch {
+	case !found:
+		writeError(w, http.StatusNotFound, "no such job")
+	case !canceled:
+		writeError(w, http.StatusConflict, "job already finished")
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "canceling"})
+	}
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	type kernelView struct {
+		Abbr    string  `json:"abbr"`
+		Name    string  `json:"name"`
+		PaperBW float64 `json:"paper_bw"`
+	}
+	out := make([]kernelView, 0, len(s.opts.Catalogue))
+	for _, p := range s.opts.Catalogue {
+		out = append(out, kernelView{Abbr: p.Abbr, Name: p.Name, PaperBW: p.PaperBW})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"kernels": out})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"uptime_s": time.Since(s.metrics.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w)
+}

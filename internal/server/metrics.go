@@ -1,0 +1,75 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates the daemon's observability counters and renders them in
+// Prometheus text exposition format. Counters are atomics so job workers
+// never contend; gauges that mirror live state (queue depth, cache fill) are
+// read through callbacks at scrape time.
+type Metrics struct {
+	start time.Time
+
+	jobsSubmitted atomic.Uint64
+	jobsCompleted atomic.Uint64
+	jobsFailed    atomic.Uint64
+	jobsCanceled  atomic.Uint64
+	jobsRejected  atomic.Uint64 // queue-full 429s
+	jobsRunning   atomic.Int64
+
+	simCycles atomic.Uint64 // cycles actually simulated (cache hits excluded)
+
+	jobSeconds atomic.Uint64 // float64 bits; total wall time of finished jobs
+	jobCount   atomic.Uint64
+
+	queueDepth func() int
+	cacheStats func() (hits, misses, evictions uint64, entries int)
+}
+
+func newMetrics(queueDepth func() int, cacheStats func() (uint64, uint64, uint64, int)) *Metrics {
+	return &Metrics{start: time.Now(), queueDepth: queueDepth, cacheStats: cacheStats}
+}
+
+// observeJob records one finished job's wall time.
+func (m *Metrics) observeJob(d time.Duration) {
+	for {
+		old := m.jobSeconds.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d.Seconds())
+		if m.jobSeconds.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	m.jobCount.Add(1)
+}
+
+// WritePrometheus renders all metrics in Prometheus text format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("dased_jobs_submitted_total", "Jobs accepted into the queue.", m.jobsSubmitted.Load())
+	counter("dased_jobs_completed_total", "Jobs finished successfully.", m.jobsCompleted.Load())
+	counter("dased_jobs_failed_total", "Jobs that errored, timed out or panicked.", m.jobsFailed.Load())
+	counter("dased_jobs_canceled_total", "Jobs canceled by clients.", m.jobsCanceled.Load())
+	counter("dased_jobs_rejected_total", "Submissions rejected with 429 (queue full).", m.jobsRejected.Load())
+	hits, misses, evictions, entries := m.cacheStats()
+	counter("dased_cache_hits_total", "Result-cache lookups served without simulating.", hits)
+	counter("dased_cache_misses_total", "Result-cache lookups that simulated.", misses)
+	counter("dased_cache_evictions_total", "Result-cache entries evicted by the size bound.", evictions)
+	gauge("dased_cache_entries", "Resident result-cache entries.", float64(entries))
+	gauge("dased_queue_depth", "Jobs waiting in the queue.", float64(m.queueDepth()))
+	gauge("dased_jobs_running", "Jobs currently executing.", float64(m.jobsRunning.Load()))
+	counter("dased_sim_cycles_total", "GPU cycles simulated (cache hits excluded).", m.simCycles.Load())
+	fmt.Fprintf(w, "# HELP dased_job_wall_seconds Total wall time of finished jobs.\n# TYPE dased_job_wall_seconds summary\n")
+	fmt.Fprintf(w, "dased_job_wall_seconds_sum %g\n", math.Float64frombits(m.jobSeconds.Load()))
+	fmt.Fprintf(w, "dased_job_wall_seconds_count %d\n", m.jobCount.Load())
+	gauge("dased_uptime_seconds", "Seconds since the server started.", time.Since(m.start).Seconds())
+}

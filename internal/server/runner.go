@@ -1,0 +1,145 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"dasesim/internal/metrics"
+	"dasesim/internal/sched"
+	"dasesim/internal/sim"
+	"dasesim/internal/simcache"
+	"dasesim/internal/workload"
+)
+
+// worker drains the job queue until it is closed by Shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one queued job, converting panics and context errors into
+// terminal job states instead of process death.
+func (s *Server) runJob(job *Job) {
+	s.mu.Lock()
+	if job.Status != StatusQueued {
+		// Canceled while waiting in the queue; nothing to run.
+		s.mu.Unlock()
+		return
+	}
+	job.Status = StatusRunning
+	job.StartedAt = time.Now()
+	ctx, cancel := context.WithTimeout(s.baseCtx, job.plan.timeout)
+	job.cancel = cancel
+	s.mu.Unlock()
+
+	s.metrics.jobsRunning.Add(1)
+	defer s.metrics.jobsRunning.Add(-1)
+	defer cancel()
+	defer func() {
+		if r := recover(); r != nil {
+			s.finishJob(job, nil, false, fmt.Errorf("panic: %v", r))
+		}
+	}()
+
+	res, cacheHit, err := s.execute(ctx, job.plan)
+	s.finishJob(job, res, cacheHit, err)
+}
+
+// finishJob moves the job to its terminal state and updates the metrics.
+func (s *Server) finishJob(job *Job, res *JobResult, cacheHit bool, err error) {
+	s.mu.Lock()
+	job.FinishedAt = time.Now()
+	job.CacheHit = cacheHit
+	switch {
+	case err == nil:
+		job.Status = StatusDone
+		job.Result = res
+		s.metrics.jobsCompleted.Add(1)
+	case errors.Is(err, context.Canceled):
+		job.Status = StatusCanceled
+		job.Error = "canceled"
+		s.metrics.jobsCanceled.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		job.Status = StatusFailed
+		job.Error = fmt.Sprintf("timeout after %v", job.plan.timeout)
+		s.metrics.jobsFailed.Add(1)
+	default:
+		job.Status = StatusFailed
+		job.Error = err.Error()
+		s.metrics.jobsFailed.Add(1)
+	}
+	wall := job.FinishedAt.Sub(job.StartedAt)
+	close(job.done)
+	s.mu.Unlock()
+	s.metrics.observeJob(wall)
+	s.logf("job=%s status=%s cache_hit=%t wall=%s", job.ID, job.Status, cacheHit, wall.Round(time.Millisecond))
+}
+
+// execute runs the plan's simulation through the content-addressed cache and
+// optionally augments it with slowdown metrics against cached alone
+// baselines. The returned cacheHit refers to the main simulation.
+func (s *Server) execute(ctx context.Context, p plan) (*JobResult, bool, error) {
+	key := simcache.Key(s.opts.Cfg, p.profiles, p.alloc, p.cycles, p.seed, p.variant())
+	res, cacheHit, err := s.cachedSim(ctx, key, func(ctx context.Context) (*sim.Result, error) {
+		return s.runSim(ctx, p)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	out := &JobResult{Sim: res}
+	if p.slowdown {
+		// Alone baselines are addressed with workload.AloneKey, so they are
+		// simulated at most once across slowdown computations and explicit
+		// alone-mode jobs with the same budget and seed.
+		out.Slowdowns = make([]float64, len(p.profiles))
+		out.AloneIPC = make([]float64, len(p.profiles))
+		for i, prof := range p.profiles {
+			aloneKey := workload.AloneKey(s.opts.Cfg, prof, p.cycles, p.seed)
+			alone, _, err := s.cachedSim(ctx, aloneKey, func(ctx context.Context) (*sim.Result, error) {
+				return sim.RunAloneContext(ctx, s.opts.Cfg, prof, p.cycles, p.seed)
+			})
+			if err != nil {
+				return nil, false, fmt.Errorf("alone baseline %s: %w", prof.Abbr, err)
+			}
+			out.AloneIPC[i] = alone.Apps[0].IPC
+			out.Slowdowns[i] = metrics.Slowdown(alone.Apps[0].IPC, res.Apps[i].IPC)
+		}
+		out.Unfairness = metrics.Unfairness(out.Slowdowns)
+		out.HarmonicSpeedup = metrics.HarmonicSpeedup(out.Slowdowns)
+	}
+	return out, cacheHit, nil
+}
+
+// cachedSim resolves one simulation through the result cache, counting the
+// cycles of runs that actually simulated (cache hits are free).
+func (s *Server) cachedSim(ctx context.Context, key string, run func(context.Context) (*sim.Result, error)) (*sim.Result, bool, error) {
+	simulated := false
+	res, err := s.cache.GetOrCompute(ctx, key, func() (*sim.Result, error) {
+		simulated = true
+		r, err := run(ctx)
+		if err == nil {
+			s.metrics.simCycles.Add(r.Cycles)
+		}
+		return r, err
+	})
+	return res, !simulated, err
+}
+
+// runSim dispatches the plan to the right simulation entry point.
+func (s *Server) runSim(ctx context.Context, p plan) (*sim.Result, error) {
+	if p.mode == "alone" {
+		return sim.RunAloneContext(ctx, s.opts.Cfg, p.profiles[0], p.cycles, p.seed)
+	}
+	switch p.policy {
+	case "fair":
+		return sched.RunContext(ctx, s.opts.Cfg, p.profiles, p.alloc, p.cycles, p.seed, sched.NewDASEFair())
+	case "perf":
+		return sched.RunContext(ctx, s.opts.Cfg, p.profiles, p.alloc, p.cycles, p.seed, sched.NewDASEPerf())
+	default:
+		return sim.RunSharedContext(ctx, s.opts.Cfg, p.profiles, p.alloc, p.cycles, p.seed)
+	}
+}

@@ -1,0 +1,294 @@
+// Package server exposes the simulator as a long-running service: a JSON
+// HTTP API that accepts simulation jobs, runs them on a bounded worker pool
+// with a FIFO queue, serves repeated queries from a content-addressed result
+// cache, and reports health and Prometheus metrics. It turns the one-shot
+// CLI reproduction into something continuously queryable — the production
+// posture that run-time slowdown estimators are designed for.
+//
+// Robustness properties:
+//
+//   - a full queue rejects submissions with 429 instead of blocking;
+//   - each job runs under a context with a per-job timeout, and client
+//     cancellation (DELETE) aborts queued and running jobs;
+//   - a panicking simulation fails its job, not the process;
+//   - Shutdown stops intake, drains queued and running jobs, and
+//     hard-cancels whatever is still running when its context expires.
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"time"
+
+	"dasesim/internal/config"
+	"dasesim/internal/kernels"
+	"dasesim/internal/simcache"
+)
+
+// Options configure a Server; zero fields take the documented defaults.
+type Options struct {
+	// Cfg is the simulated GPU (default: config.Default(), the paper's
+	// Table II device). Validated at construction.
+	Cfg config.Config
+	// Catalogue are the kernels jobs may reference (default: kernels.All()).
+	Catalogue []kernels.Profile
+	// Workers is the simulation worker-pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the FIFO job queue; submissions beyond it get 429
+	// (default: 64).
+	QueueDepth int
+	// JobTimeout caps each job's wall time (default: 2m). Requests may
+	// shorten but not extend it.
+	JobTimeout time.Duration
+	// DefaultCycles is the budget for requests that omit cycles (default:
+	// 300000, matching cmd/dasesim).
+	DefaultCycles uint64
+	// MaxCycles rejects outsized budgets at submission (default: 20000000).
+	MaxCycles uint64
+	// CacheEntries bounds the result cache (default:
+	// simcache.DefaultMaxEntries).
+	CacheEntries int
+	// MaxJobs bounds the retained job records; the oldest terminal jobs are
+	// forgotten beyond it (default: 4096).
+	MaxJobs int
+	// Logger receives request and job logs (default: log.Default()). Use
+	// log.New(io.Discard, "", 0) to silence.
+	Logger *log.Logger
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Cfg.NumSMs == 0 {
+		o.Cfg = config.Default()
+	}
+	if o.Catalogue == nil {
+		o.Catalogue = kernels.All()
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 2 * time.Minute
+	}
+	if o.DefaultCycles == 0 {
+		o.DefaultCycles = 300_000
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 20_000_000
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 4096
+	}
+	if o.Logger == nil {
+		o.Logger = log.Default()
+	}
+	return o
+}
+
+// Server is the simulation-as-a-service daemon core. Construct with New,
+// start the worker pool with Start, serve Handler over HTTP, and stop with
+// Shutdown.
+type Server struct {
+	opts    Options
+	cache   *simcache.Memory
+	metrics *Metrics
+	queue   chan *Job
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	jobOrder []string // submission order, for listing and record eviction
+	nextID   uint64
+	draining bool
+	started  bool
+}
+
+// New builds a Server with the given options.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if err := opts.Cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	if len(opts.Catalogue) == 0 {
+		return nil, fmt.Errorf("server: empty kernel catalogue")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		cache:      simcache.NewMemory(opts.CacheEntries),
+		queue:      make(chan *Job, opts.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*Job{},
+	}
+	s.metrics = newMetrics(
+		func() int { return len(s.queue) },
+		func() (uint64, uint64, uint64, int) {
+			st := s.cache.Stats()
+			return st.Hits, st.Misses, st.Evictions, st.Entries
+		},
+	)
+	return s, nil
+}
+
+// Start launches the worker pool. It is idempotent.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Shutdown gracefully stops the server: no new submissions are accepted,
+// queued and running jobs are drained, and when ctx expires before the
+// drain completes the remaining jobs are hard-cancelled (still waiting for
+// them to unwind). Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Abort running simulations; they poll their context and unwind in
+		// microseconds, so this second wait is short.
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// lookup resolves a kernel abbreviation against the catalogue.
+func (s *Server) lookup(abbr string) (kernels.Profile, bool) {
+	for _, p := range s.opts.Catalogue {
+		if p.Abbr == abbr {
+			return p, true
+		}
+	}
+	return kernels.Profile{}, false
+}
+
+// submit registers and enqueues a job built from req. It returns the job,
+// or an error classified by the caller into an HTTP status: errQueueFull,
+// errDraining, or a validation error.
+func (s *Server) submit(req JobRequest) (*Job, error) {
+	pl, err := s.buildPlan(req)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, errDraining
+	}
+	s.nextID++
+	job := &Job{
+		ID:          fmt.Sprintf("job-%d", s.nextID),
+		Request:     req,
+		Status:      StatusQueued,
+		SubmittedAt: time.Now(),
+		plan:        pl,
+		done:        make(chan struct{}),
+	}
+	select {
+	case s.queue <- job:
+	default:
+		s.metrics.jobsRejected.Add(1)
+		return nil, errQueueFull
+	}
+	s.jobs[job.ID] = job
+	s.jobOrder = append(s.jobOrder, job.ID)
+	s.evictJobRecordsLocked()
+	s.metrics.jobsSubmitted.Add(1)
+	return job, nil
+}
+
+// evictJobRecordsLocked forgets the oldest terminal job records beyond
+// MaxJobs; the caller holds s.mu.
+func (s *Server) evictJobRecordsLocked() {
+	for len(s.jobs) > s.opts.MaxJobs {
+		evicted := false
+		for i, id := range s.jobOrder {
+			j, ok := s.jobs[id]
+			if !ok {
+				continue
+			}
+			if j.Status.terminal() {
+				delete(s.jobs, id)
+				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything live; keep the records
+		}
+	}
+}
+
+// cancelJob cancels a queued or running job. It reports whether the job
+// exists and whether it could be cancelled.
+func (s *Server) cancelJob(id string) (found, canceled bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return false, false
+	}
+	switch job.Status {
+	case StatusQueued:
+		// The worker will observe the status and skip it.
+		job.Status = StatusCanceled
+		job.Error = "canceled"
+		job.FinishedAt = time.Now()
+		close(job.done)
+		s.metrics.jobsCanceled.Add(1)
+		return true, true
+	case StatusRunning:
+		job.cancel()
+		return true, true
+	default:
+		return true, false
+	}
+}
+
+// getJob returns the job record for id.
+func (s *Server) getJob(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// logf writes one structured log line.
+func (s *Server) logf(format string, args ...any) {
+	s.opts.Logger.Printf("dased "+format, args...)
+}

@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"dasesim/internal/config"
@@ -287,6 +288,32 @@ func (g *GPU) Run(n uint64) {
 	for g.cycle < end {
 		g.step()
 	}
+}
+
+// ctxCheckCycles is the granularity at which RunContext polls its context: a
+// balance between cancellation latency (a few thousand cycles simulate in
+// well under a millisecond) and per-cycle overhead.
+const ctxCheckCycles = 4096
+
+// RunContext advances the simulation by n cycles, polling ctx between
+// coarse chunks so per-job timeouts and cancellation take effect promptly.
+// A simulation stopped early is left in a consistent state (FinishRun still
+// works), but callers normally discard it.
+func (g *GPU) RunContext(ctx context.Context, n uint64) error {
+	end := g.cycle + n
+	for g.cycle < end {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		chunk := end - g.cycle
+		if chunk > ctxCheckCycles {
+			chunk = ctxCheckCycles
+		}
+		for i := uint64(0); i < chunk; i++ {
+			g.step()
+		}
+	}
+	return nil
 }
 
 // step advances exactly one core cycle.

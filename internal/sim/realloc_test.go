@@ -11,6 +11,9 @@ import (
 // TestReallocationMovesMinimalSMs: shrinking app 0 from 10 to 8 SMs must
 // reassign exactly two SMs and leave the other fourteen owners untouched.
 func TestReallocationMovesMinimalSMs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
 	cfg := config.Default()
 	ps := twoApps(t)
 	g, err := New(cfg, ps, []int{10, 6}, 1)
@@ -65,6 +68,9 @@ func TestOwnersMatchAllocation(t *testing.T) {
 // TestCancelledReallocationUndrains: flipping the allocation back before
 // draining completes must leave all SMs productive.
 func TestCancelledReallocationUndrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
 	cfg := config.Default()
 	sb, _ := kernels.ByAbbr("SB")
 	ct, _ := kernels.ByAbbr("CT")

@@ -37,6 +37,9 @@ func tinyConfig() config.Config {
 }
 
 func TestStressTinyConfigStillServes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
 	cfg := tinyConfig()
 	p, _ := kernels.ByAbbr("SB")
 	p.WarpsPerBlock = 4
@@ -58,6 +61,9 @@ func TestStressTinyConfigStillServes(t *testing.T) {
 }
 
 func TestStressTwoAppsOnTwoSMs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
 	cfg := tinyConfig()
 	cfg.NumSMs = 2
 	a, _ := kernels.ByAbbr("SB")
@@ -75,6 +81,9 @@ func TestStressTwoAppsOnTwoSMs(t *testing.T) {
 }
 
 func TestStressReallocationUnderBackpressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
 	cfg := tinyConfig()
 	cfg.NumSMs = 4
 	a, _ := kernels.ByAbbr("SB")
@@ -106,6 +115,9 @@ func TestStressReallocationUnderBackpressure(t *testing.T) {
 }
 
 func TestStressWriteOnlyKernel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
 	cfg := tinyConfig()
 	p, _ := kernels.ByAbbr("AT")
 	p.WarpsPerBlock = 4
@@ -125,6 +137,9 @@ func TestStressWriteOnlyKernel(t *testing.T) {
 // transpose pathology. The simulator must survive it and show the BLP
 // collapse in the counters.
 func TestStressBankCampingStride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
 	cfg := config.Default()
 	cfg.IntervalCycles = 10_000
 	camping := kernels.Profile{
@@ -158,6 +173,9 @@ func TestStressBankCampingStride(t *testing.T) {
 }
 
 func TestStressRefreshPlusWritebackPlusRR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
 	cfg := config.Default()
 	cfg.IntervalCycles = 10_000
 	cfg.Mem.TREFI = 5_000

@@ -1,0 +1,172 @@
+package simcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dasesim/internal/config"
+	"dasesim/internal/kernels"
+	"dasesim/internal/sim"
+)
+
+func testProfiles() []kernels.Profile {
+	a, _ := kernels.ByAbbr("SB")
+	b, _ := kernels.ByAbbr("SD")
+	return []kernels.Profile{a, b}
+}
+
+func TestKeyStableAndSensitive(t *testing.T) {
+	cfg := config.Default()
+	ps := testProfiles()
+	base := Key(cfg, ps, []int{8, 8}, 100_000, 1, "shared/even")
+	if base != Key(cfg, ps, []int{8, 8}, 100_000, 1, "shared/even") {
+		t.Fatal("key not deterministic")
+	}
+	variants := map[string]string{
+		"alloc":   Key(cfg, ps, []int{4, 12}, 100_000, 1, "shared/even"),
+		"cycles":  Key(cfg, ps, []int{8, 8}, 200_000, 1, "shared/even"),
+		"seed":    Key(cfg, ps, []int{8, 8}, 100_000, 2, "shared/even"),
+		"variant": Key(cfg, ps, []int{8, 8}, 100_000, 1, "shared/fair"),
+	}
+	cfg2 := cfg
+	cfg2.NumMCs = 8
+	variants["config"] = Key(cfg2, ps, []int{8, 8}, 100_000, 1, "shared/even")
+	ps2 := testProfiles()
+	ps2[0].MemFrac *= 2
+	variants["profile"] = Key(cfg, ps2, []int{8, 8}, 100_000, 1, "shared/even")
+	for name, k := range variants {
+		if k == base {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+}
+
+func TestConfigFingerprintStable(t *testing.T) {
+	cfg := config.Default()
+	if cfg.Fingerprint() != config.Default().Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	cfg2 := cfg
+	cfg2.IntervalCycles++
+	if cfg.Fingerprint() == cfg2.Fingerprint() {
+		t.Fatal("fingerprint insensitive to a field change")
+	}
+}
+
+func TestMemoryGetPutStats(t *testing.T) {
+	m := NewMemory(4)
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	r := &sim.Result{Cycles: 7}
+	m.Put("a", r)
+	got, ok := m.Get("a")
+	if !ok || got != r {
+		t.Fatal("stored result not returned")
+	}
+	st := m.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMemoryEviction(t *testing.T) {
+	m := NewMemory(2)
+	for i := 0; i < 3; i++ {
+		m.Put(fmt.Sprintf("k%d", i), &sim.Result{Cycles: uint64(i)})
+	}
+	if _, ok := m.Get("k0"); ok {
+		t.Fatal("oldest entry survived beyond the bound")
+	}
+	if _, ok := m.Get("k2"); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	if st := m.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGetOrComputeSingleFlight(t *testing.T) {
+	m := NewMemory(8)
+	var computes atomic.Int64
+	release := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]*sim.Result, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := m.GetOrCompute(context.Background(), "k", func() (*sim.Result, error) {
+				computes.Add(1)
+				<-release
+				return &sim.Result{Cycles: 42}, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	// Let the goroutines pile onto the flight, then release the winner.
+	for m.Stats().Misses == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	for _, r := range results {
+		if r == nil || r.Cycles != 42 {
+			t.Fatalf("waiter saw %+v", r)
+		}
+	}
+}
+
+func TestGetOrComputeErrorNotCached(t *testing.T) {
+	m := NewMemory(8)
+	boom := errors.New("boom")
+	_, err := m.GetOrCompute(context.Background(), "k", func() (*sim.Result, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	r, err := m.GetOrCompute(context.Background(), "k", func() (*sim.Result, error) {
+		return &sim.Result{Cycles: 1}, nil
+	})
+	if err != nil || r.Cycles != 1 {
+		t.Fatalf("recovery compute: %v %+v", err, r)
+	}
+}
+
+func TestGetOrComputeWaiterCancellation(t *testing.T) {
+	m := NewMemory(8)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_, _ = m.GetOrCompute(context.Background(), "k", func() (*sim.Result, error) {
+			close(started)
+			<-release
+			return &sim.Result{}, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := m.GetOrCompute(ctx, "k", func() (*sim.Result, error) {
+		t.Error("waiter must not compute")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	close(release)
+}

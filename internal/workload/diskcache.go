@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -45,27 +46,27 @@ func (d *DiskCache) path(p kernels.Profile) string {
 // Get returns the alone result, loading it from disk if present, simulating
 // and persisting it otherwise.
 func (d *DiskCache) Get(p kernels.Profile) (*sim.Result, error) {
+	return d.GetContext(context.Background(), p)
+}
+
+// GetContext is Get with cancellation of the backing simulation.
+func (d *DiskCache) GetContext(ctx context.Context, p kernels.Profile) (*sim.Result, error) {
 	// Fast path: in-memory.
-	d.inner.mu.Lock()
-	if r, ok := d.inner.m[d.inner.key(p)]; ok {
-		d.inner.mu.Unlock()
+	if r, ok := d.inner.store.Get(d.inner.key(p)); ok {
 		return r, nil
 	}
-	d.inner.mu.Unlock()
 
 	path := d.path(p)
 	if data, err := os.ReadFile(path); err == nil {
 		var r sim.Result
 		if err := json.Unmarshal(data, &r); err == nil {
-			d.inner.mu.Lock()
-			d.inner.m[d.inner.key(p)] = &r
-			d.inner.mu.Unlock()
+			d.inner.store.Put(d.inner.key(p), &r)
 			return &r, nil
 		}
 		// Corrupt entry: fall through and recompute.
 	}
 
-	r, err := d.inner.Get(p)
+	r, err := d.inner.GetContext(ctx, p)
 	if err != nil {
 		return nil, err
 	}

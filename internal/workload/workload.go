@@ -8,6 +8,8 @@
 package workload
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -17,6 +19,7 @@ import (
 	"dasesim/internal/kernels"
 	"dasesim/internal/metrics"
 	"dasesim/internal/sim"
+	"dasesim/internal/simcache"
 )
 
 // Combo is one multiprogrammed workload.
@@ -97,46 +100,78 @@ type Baseline interface {
 	Get(p kernels.Profile) (*sim.Result, error)
 }
 
+// BaselineContext is implemented by baselines that support cancellation;
+// Evaluate uses it when available so an aborted batch stops simulating
+// alone baselines too.
+type BaselineContext interface {
+	Baseline
+	GetContext(ctx context.Context, p kernels.Profile) (*sim.Result, error)
+}
+
+// baselineGet fetches an alone result, routing through the context-aware
+// path when the baseline supports it.
+func baselineGet(ctx context.Context, cache Baseline, p kernels.Profile) (*sim.Result, error) {
+	if bc, ok := cache.(BaselineContext); ok {
+		return bc.GetContext(ctx, p)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return cache.Get(p)
+}
+
 // AloneCache memoises alone-run results per kernel so the 105 pair
-// evaluations reuse the 15 alone baselines. It is safe for concurrent use.
+// evaluations reuse the 15 alone baselines. It is a thin view over a
+// content-addressed simcache store (keys cover the full profile, GPU
+// configuration, budget and seed), so a store can be shared with other
+// layers — the dased server hands its job cache to NewAloneCacheWith and
+// alone baselines are computed at most once across both. It is safe for
+// concurrent use, and concurrent requests for the same kernel simulate it
+// only once.
 type AloneCache struct {
 	cfg    config.Config
 	cycles uint64
 	seed   uint64
-
-	mu sync.Mutex
-	m  map[string]*sim.Result
+	store  *simcache.Memory
 }
 
 // NewAloneCache builds a cache running alone simulations with the given
-// budget.
+// budget, backed by a private store.
 func NewAloneCache(cfg config.Config, cycles uint64, seed uint64) *AloneCache {
-	return &AloneCache{cfg: cfg, cycles: cycles, seed: seed, m: map[string]*sim.Result{}}
+	return NewAloneCacheWith(simcache.NewMemory(0), cfg, cycles, seed)
+}
+
+// NewAloneCacheWith builds an AloneCache over an existing result store.
+func NewAloneCacheWith(store *simcache.Memory, cfg config.Config, cycles uint64, seed uint64) *AloneCache {
+	return &AloneCache{cfg: cfg, cycles: cycles, seed: seed, store: store}
+}
+
+// AloneKey is the content address of a kernel's alone run on all SMs; the
+// full profile is hashed, so WithMemFrac sweeps (Fig. 3) and custom kernels
+// coexist. Exported so other layers over a shared store (the dased server)
+// address the same entries.
+func AloneKey(cfg config.Config, p kernels.Profile, cycles, seed uint64) string {
+	return simcache.Key(cfg, []kernels.Profile{p}, []int{cfg.NumSMs}, cycles, seed, "alone")
 }
 
 func (c *AloneCache) key(p kernels.Profile) string {
-	// MemFrac is part of the key so WithMemFrac sweeps (Fig. 3) coexist.
-	return fmt.Sprintf("%s|%g|%d", p.Abbr, p.MemFrac, p.FootprintLines)
+	return AloneKey(c.cfg, p, c.cycles, c.seed)
 }
 
 // Get returns the alone result for the kernel, simulating it on first use.
 func (c *AloneCache) Get(p kernels.Profile) (*sim.Result, error) {
-	k := c.key(p)
-	c.mu.Lock()
-	if r, ok := c.m[k]; ok {
-		c.mu.Unlock()
-		return r, nil
-	}
-	c.mu.Unlock()
-	r, err := sim.RunAlone(c.cfg, p, c.cycles, c.seed)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	c.m[k] = r
-	c.mu.Unlock()
-	return r, nil
+	return c.GetContext(context.Background(), p)
 }
+
+// GetContext is Get with cancellation.
+func (c *AloneCache) GetContext(ctx context.Context, p kernels.Profile) (*sim.Result, error) {
+	return c.store.GetOrCompute(ctx, c.key(p), func() (*sim.Result, error) {
+		return sim.RunAloneContext(ctx, c.cfg, p, c.cycles, c.seed)
+	})
+}
+
+// Stats reports the underlying store's hit/miss counters.
+func (c *AloneCache) Stats() simcache.Stats { return c.store.Stats() }
 
 // Eval is the outcome of evaluating one workload combination.
 type Eval struct {
@@ -187,7 +222,13 @@ func DefaultOptions(sharedCycles uint64) Options {
 // slowdowns and per-estimator errors. When EpochEstimators are present, a
 // second run with priority epochs provides their inputs and ground truth.
 func Evaluate(opt Options, combo Combo, alloc []int, cache Baseline) (*Eval, error) {
-	shared, err := sim.RunShared(opt.Cfg, combo.Profiles, alloc, opt.SharedCycles, opt.Seed)
+	return EvaluateContext(context.Background(), opt, combo, alloc, cache)
+}
+
+// EvaluateContext is Evaluate with cancellation: the shared runs, epoch runs
+// and alone-baseline lookups all abort once ctx expires.
+func EvaluateContext(ctx context.Context, opt Options, combo Combo, alloc []int, cache Baseline) (*Eval, error) {
+	shared, err := sim.RunSharedContext(ctx, opt.Cfg, combo.Profiles, alloc, opt.SharedCycles, opt.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("workload %s: %w", combo.Name(), err)
 	}
@@ -201,7 +242,7 @@ func Evaluate(opt Options, combo Combo, alloc []int, cache Baseline) (*Eval, err
 		Errors:    map[string][]float64{},
 	}
 	for i, p := range combo.Profiles {
-		alone, err := cache.Get(p)
+		alone, err := baselineGet(ctx, cache, p)
 		if err != nil {
 			return nil, err
 		}
@@ -225,7 +266,7 @@ func Evaluate(opt Options, combo Combo, alloc []int, cache Baseline) (*Eval, err
 	}
 
 	if len(opt.EpochEstimators) > 0 {
-		epochRun, err := sim.RunShared(opt.Cfg, combo.Profiles, alloc, opt.SharedCycles, opt.Seed, sim.WithPriorityEpochs())
+		epochRun, err := sim.RunSharedContext(ctx, opt.Cfg, combo.Profiles, alloc, opt.SharedCycles, opt.Seed, sim.WithPriorityEpochs())
 		if err != nil {
 			return nil, fmt.Errorf("workload %s (epochs): %w", combo.Name(), err)
 		}
@@ -247,8 +288,19 @@ type Job struct {
 }
 
 // EvaluateAll evaluates jobs in parallel over a GOMAXPROCS-sized worker
-// pool, preserving input order. The first error aborts the batch.
+// pool, preserving input order. The first error cancels the batch: jobs not
+// yet started are skipped and in-flight simulations abort.
 func EvaluateAll(opt Options, jobs []Job, cache Baseline) ([]*Eval, error) {
+	return EvaluateAllContext(context.Background(), opt, jobs, cache)
+}
+
+// EvaluateAllContext is EvaluateAll under an external context (cancelling
+// ctx aborts the whole batch). The returned error is the first root-cause
+// failure in job order; cancellations induced by that failure are not
+// reported as the batch error.
+func EvaluateAllContext(ctx context.Context, opt Options, jobs []Job, cache Baseline) ([]*Eval, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	out := make([]*Eval, len(jobs))
 	errs := make([]error, len(jobs))
 	idxCh := make(chan int)
@@ -265,7 +317,14 @@ func EvaluateAll(opt Options, jobs []Job, cache Baseline) ([]*Eval, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				out[i], errs[i] = Evaluate(opt, jobs[i].Combo, jobs[i].Alloc, cache)
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				out[i], errs[i] = EvaluateContext(ctx, opt, jobs[i].Combo, jobs[i].Alloc, cache)
+				if errs[i] != nil {
+					cancel()
+				}
 			}
 		}()
 	}
@@ -274,10 +333,21 @@ func EvaluateAll(opt Options, jobs []Job, cache Baseline) ([]*Eval, error) {
 	}
 	close(idxCh)
 	wg.Wait()
+	var firstErr error
 	for _, e := range errs {
-		if e != nil {
+		if e == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = e
+		}
+		// Prefer the real failure over the cancellations it induced.
+		if !errors.Is(e, context.Canceled) {
 			return nil, e
 		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

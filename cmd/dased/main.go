@@ -7,6 +7,7 @@
 //	dased                          # listen on :8844 with defaults
 //	dased -addr :9000 -workers 8 -queue 128
 //	dased -config gpu.json -kernels custom.json
+//	dased -journal dased.wal -max-retries 3   # crash-safe job journal
 //
 // Example session:
 //
@@ -40,6 +41,9 @@ func main() {
 	defaultCycles := flag.Uint64("default-cycles", 300_000, "cycle budget for jobs that omit cycles")
 	maxCycles := flag.Uint64("max-cycles", 20_000_000, "largest accepted cycle budget")
 	cacheEntries := flag.Int("cache", 512, "result-cache capacity in entries")
+	journalPath := flag.String("journal", "", "append job lifecycle records to this file and recover from it on startup")
+	maxRetries := flag.Int("max-retries", 2, "retries per job for transient failures (negative disables)")
+	shedHighWater := flag.Int("shed-highwater", 0, "queue length at which uncached submissions are shed (0: 3/4 of -queue, negative: off)")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "shutdown drain budget before running jobs are hard-cancelled")
 	configPath := flag.String("config", "", "load the GPU configuration from this JSON file")
 	kernelsPath := flag.String("kernels", "", "load custom kernel profiles from this JSON file")
@@ -52,6 +56,14 @@ func main() {
 		DefaultCycles: *defaultCycles,
 		MaxCycles:     *maxCycles,
 		CacheEntries:  *cacheEntries,
+		JournalPath:   *journalPath,
+		MaxRetries:    *maxRetries,
+		ShedHighWater: *shedHighWater,
+	}
+	// In Options, 0 retries means "use the default"; on the command line an
+	// explicit 0 means none.
+	if *maxRetries == 0 {
+		opts.MaxRetries = -1
 	}
 	if *configPath != "" {
 		cfg, err := dasesim.LoadConfig(*configPath)
@@ -74,10 +86,16 @@ func main() {
 	}
 	srv.Start()
 
+	// ReadTimeout covers header + body: job submissions are small JSON
+	// documents, so a client that cannot deliver one inside 30s is stalled or
+	// hostile. No WriteTimeout — long-poll responses legitimately take up to
+	// LongPollMax to produce.
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,304 @@
+package server
+
+import (
+	"io"
+	"log"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dasesim/internal/faults"
+)
+
+// newFaultServer builds an unstarted server suitable for fault tests; the
+// caller arms the registry (installed process-wide, removed at cleanup) and
+// then calls Start, so faults armed between submission and Start cannot hit
+// the submission path by accident.
+func newFaultServer(t *testing.T, opts Options) (*Server, *faults.Registry) {
+	t.Helper()
+	if opts.Logger == nil {
+		opts.Logger = log.New(io.Discard, "", 0)
+	}
+	if opts.JobTimeout == 0 {
+		opts.JobTimeout = time.Minute
+	}
+	if opts.DefaultCycles == 0 {
+		opts.DefaultCycles = testCycles
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := faults.New(42)
+	faults.Activate(reg)
+	t.Cleanup(func() {
+		faults.Deactivate()
+		ctx, cancel := testCtx()
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, reg
+}
+
+// submitAndWait submits req and blocks until the job is terminal.
+func submitAndWait(t *testing.T, s *Server, req JobRequest) JobView {
+	t.Helper()
+	j, err := s.submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return awaitTerminal(t, s, j.ID)
+}
+
+// transientPoints are the ctx-aware injection points a job passes through.
+var transientPoints = []string{"server.worker", "sim.step", "simcache.get"}
+
+// TestTransientErrorRetriedToSuccess arms each injection point to fail
+// exactly once and proves the job is retried to success, with attempts and
+// last_error exposed and the retry counter bumped.
+func TestTransientErrorRetriedToSuccess(t *testing.T) {
+	for _, point := range transientPoints {
+		t.Run(point, func(t *testing.T) {
+			s, reg := newFaultServer(t, Options{Workers: 1})
+			reg.Arm(faults.Spec{Point: point, Mode: faults.ModeError, Count: 1})
+			s.Start()
+			v := submitAndWait(t, s, JobRequest{Kernels: []string{"SB", "SD"}, Cycles: testCycles})
+			if v.Status != StatusDone {
+				t.Fatalf("status=%s error=%q", v.Status, v.Error)
+			}
+			if v.Attempts != 2 {
+				t.Fatalf("attempts=%d, want 2", v.Attempts)
+			}
+			if !strings.Contains(v.LastError, "injected") {
+				t.Fatalf("last_error=%q, want the injected fault", v.LastError)
+			}
+			if got := s.metrics.jobRetries.Load(); got != 1 {
+				t.Fatalf("jobRetries=%d, want 1", got)
+			}
+			if reg.Fired(point) != 1 {
+				t.Fatalf("point fired %d times", reg.Fired(point))
+			}
+		})
+	}
+}
+
+// TestJournalAppendErrorRetried covers the journal.append point: the
+// submitted record commits cleanly, then the started record fails once and
+// the attempt is retried.
+func TestJournalAppendErrorRetried(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "dased.wal")
+	s, reg := newFaultServer(t, Options{Workers: 1, JournalPath: jpath})
+	// Submit while the pool is stopped so the fault cannot hit the
+	// submission-time append.
+	j, err := s.submit(JobRequest{Kernels: []string{"SB", "SD"}, Cycles: testCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Arm(faults.Spec{Point: "journal.append", Mode: faults.ModeError, Count: 1})
+	s.Start()
+	v := awaitTerminal(t, s, j.ID)
+	if v.Status != StatusDone {
+		t.Fatalf("status=%s error=%q", v.Status, v.Error)
+	}
+	if v.Attempts != 2 {
+		t.Fatalf("attempts=%d, want 2", v.Attempts)
+	}
+	if !strings.Contains(v.LastError, "journal") {
+		t.Fatalf("last_error=%q, want a journal failure", v.LastError)
+	}
+	if got := s.metrics.journalErrors.Load(); got == 0 {
+		t.Fatal("journal error not counted")
+	}
+}
+
+// TestInjectedPanicRetried proves a worker panic is recovered AND retried:
+// the job succeeds on the second attempt instead of just failing.
+func TestInjectedPanicRetried(t *testing.T) {
+	s, reg := newFaultServer(t, Options{Workers: 1})
+	reg.Arm(faults.Spec{Point: "server.worker", Mode: faults.ModePanic, Count: 1})
+	s.Start()
+	v := submitAndWait(t, s, JobRequest{Kernels: []string{"SB", "SD"}, Cycles: testCycles})
+	if v.Status != StatusDone {
+		t.Fatalf("status=%s error=%q", v.Status, v.Error)
+	}
+	if v.Attempts != 2 {
+		t.Fatalf("attempts=%d, want 2", v.Attempts)
+	}
+	if !strings.Contains(v.LastError, "panic") {
+		t.Fatalf("last_error=%q, want a panic", v.LastError)
+	}
+}
+
+// TestRetriesExhausted proves a persistent fault fails the job after
+// MaxRetries extra attempts, keeping the last error.
+func TestRetriesExhausted(t *testing.T) {
+	s, reg := newFaultServer(t, Options{Workers: 1, MaxRetries: 2})
+	reg.Arm(faults.Spec{Point: "server.worker", Mode: faults.ModeError})
+	s.Start()
+	v := submitAndWait(t, s, JobRequest{Kernels: []string{"SB", "SD"}, Cycles: testCycles})
+	if v.Status != StatusFailed {
+		t.Fatalf("status=%s", v.Status)
+	}
+	if v.Attempts != 3 { // 1 try + 2 retries
+		t.Fatalf("attempts=%d, want 3", v.Attempts)
+	}
+	if !strings.Contains(v.Error, "injected") {
+		t.Fatalf("error=%q", v.Error)
+	}
+	if got := s.metrics.jobRetries.Load(); got != 2 {
+		t.Fatalf("jobRetries=%d, want 2", got)
+	}
+}
+
+// TestRetriesDisabled proves MaxRetries < 0 turns retries off.
+func TestRetriesDisabled(t *testing.T) {
+	s, reg := newFaultServer(t, Options{Workers: 1, MaxRetries: -1})
+	reg.Arm(faults.Spec{Point: "server.worker", Mode: faults.ModeError, Count: 1})
+	s.Start()
+	v := submitAndWait(t, s, JobRequest{Kernels: []string{"SB", "SD"}, Cycles: testCycles})
+	if v.Status != StatusFailed || v.Attempts != 1 {
+		t.Fatalf("status=%s attempts=%d, want failed after 1 attempt", v.Status, v.Attempts)
+	}
+}
+
+// TestDeadlineOverrunTimesOut arms each ctx-aware injection point to sleep
+// far past the job deadline and proves the job fails with a timeout instead
+// of hanging — at every point, including journal.append (whose sleep is
+// bounded by the job context during the started-record commit).
+func TestDeadlineOverrunTimesOut(t *testing.T) {
+	points := append([]string{"journal.append"}, transientPoints...)
+	for _, point := range points {
+		t.Run(point, func(t *testing.T) {
+			opts := Options{Workers: 1}
+			if point == "journal.append" {
+				opts.JournalPath = filepath.Join(t.TempDir(), "dased.wal")
+			}
+			s, reg := newFaultServer(t, opts)
+			j, err := s.submit(JobRequest{Kernels: []string{"SB", "SD"}, Cycles: testCycles, TimeoutMS: 100})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg.Arm(faults.Spec{Point: point, Mode: faults.ModeSleep, Delay: time.Hour})
+			s.Start()
+			start := time.Now()
+			v := awaitTerminal(t, s, j.ID)
+			if v.Status != StatusFailed || !strings.Contains(v.Error, "timeout") {
+				t.Fatalf("status=%s error=%q, want timeout", v.Status, v.Error)
+			}
+			if elapsed := time.Since(start); elapsed > 30*time.Second {
+				t.Fatalf("deadline overrun took %v — effectively hung", elapsed)
+			}
+		})
+	}
+}
+
+// TestProbabilisticFaultsEventuallySucceed stresses the retry loop with a
+// 50% failure probability and generous retry budget: determinism of the
+// seeded PRNG makes this reproducible.
+func TestProbabilisticFaultsEventuallySucceed(t *testing.T) {
+	s, reg := newFaultServer(t, Options{Workers: 2, MaxRetries: 10})
+	reg.Arm(faults.Spec{Point: "server.worker", Mode: faults.ModeError, P: 0.5})
+	s.Start()
+	for i := 0; i < 4; i++ {
+		v := submitAndWait(t, s, JobRequest{Kernels: []string{"SB", "SD"}, Cycles: testCycles, Seed: uint64(i + 1)})
+		if v.Status != StatusDone {
+			t.Fatalf("job %d: status=%s error=%q attempts=%d", i, v.Status, v.Error, v.Attempts)
+		}
+	}
+}
+
+// TestCancelDuringBackoff proves a job canceled while waiting out its retry
+// backoff stays canceled and is not resurrected by the requeue.
+func TestCancelDuringBackoff(t *testing.T) {
+	s, reg := newFaultServer(t, Options{
+		Workers:        1,
+		RetryBaseDelay: time.Second,
+		RetryMaxDelay:  time.Second,
+	})
+	// Pin the backoff to its full duration so the cancel below deterministically
+	// lands while the job is still waiting.
+	s.jitterFn = func(d time.Duration) time.Duration { return d }
+	reg.Arm(faults.Spec{Point: "server.worker", Mode: faults.ModeError, Count: 1})
+	s.Start()
+	j, err := s.submit(JobRequest{Kernels: []string{"SB", "SD"}, Cycles: testCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the attempt to fail into backoff (status back to queued with
+	// a last error), then cancel.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		s.mu.Lock()
+		inBackoff := j.Status == StatusQueued && j.LastError != ""
+		s.mu.Unlock()
+		if inBackoff {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never entered retry backoff")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if found, canceled := s.cancelJob(j.ID); !found || !canceled {
+		t.Fatalf("cancel during backoff: found=%t canceled=%t", found, canceled)
+	}
+	v := awaitTerminal(t, s, j.ID)
+	if v.Status != StatusCanceled {
+		t.Fatalf("status=%s, want canceled", v.Status)
+	}
+	// Give the requeue timer time to fire; the job must stay canceled.
+	time.Sleep(1200 * time.Millisecond)
+	if got := statusOf(t, s, j.ID); got != StatusCanceled {
+		t.Fatalf("job resurrected after backoff: %s", got)
+	}
+}
+
+// TestLoadSheddingPrefersCached proves admission control over the high-water
+// mark: cached submissions are admitted, uncached ones are shed with the
+// counter bumped.
+func TestLoadSheddingPrefersCached(t *testing.T) {
+	s, _ := newFaultServer(t, Options{
+		Workers:       1,
+		QueueDepth:    4, // high-water mark defaults to 3
+		MaxCycles:     2_000_000_000,
+		ShedHighWater: 3,
+	})
+	s.Start()
+	// Warm the cache with a fast job.
+	cachedReq := JobRequest{Kernels: []string{"SB", "SD"}, Cycles: testCycles}
+	if v := submitAndWait(t, s, cachedReq); v.Status != StatusDone {
+		t.Fatalf("warmup: %s (%s)", v.Status, v.Error)
+	}
+	// Occupy the worker, then fill the queue to the high-water mark.
+	long, err := s.submit(JobRequest{Kernels: []string{"SB"}, Cycles: 1_000_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for statusOf(t, s, long.ID) != StatusRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("long job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.submit(JobRequest{Kernels: []string{"VA"}, Cycles: testCycles, Seed: uint64(i + 1)}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	// Over the mark: uncached is shed, cached is admitted.
+	if _, err := s.submit(JobRequest{Kernels: []string{"CT"}, Cycles: testCycles}); err != errShed {
+		t.Fatalf("uncached over high water: %v, want errShed", err)
+	}
+	if got := s.metrics.jobsShed.Load(); got != 1 {
+		t.Fatalf("jobsShed=%d, want 1", got)
+	}
+	if _, err := s.submit(cachedReq); err != nil {
+		t.Fatalf("cached over high water rejected: %v", err)
+	}
+	// Unblock the worker so shutdown stays fast.
+	if found, canceled := s.cancelJob(long.ID); !found || !canceled {
+		t.Fatal("could not cancel the long job")
+	}
+}

@@ -8,11 +8,13 @@ import (
 	"time"
 )
 
-// errQueueFull and errDraining classify submission failures into HTTP
-// statuses (429 and 503).
+// errQueueFull, errShed, errDraining, and errJournal classify submission
+// failures into HTTP statuses (429, 429, 503, 500).
 var (
 	errQueueFull = errors.New("job queue full")
+	errShed      = errors.New("queue over high-water mark; uncached submissions shed")
 	errDraining  = errors.New("server shutting down")
+	errJournal   = errors.New("journal write failed")
 )
 
 // Handler returns the daemon's HTTP API:
@@ -58,18 +60,24 @@ func (s *Server) logMiddleware(next http.Handler) http.Handler {
 	})
 }
 
-// writeJSON renders v with the given status.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON renders v with the given status. Encode failures (a closed
+// connection, an unmarshalable value) are logged rather than silently
+// dropped — by then the status line is already on the wire, so logging is
+// all that is left to do.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.logf("write json status=%d: %v", status, err)
+	}
 }
 
-// writeError renders a JSON error body.
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// writeError renders a JSON error body that names the request path, so a
+// client juggling several in-flight calls can tell which one failed.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	s.writeJSON(w, status, map[string]string{"error": msg, "path": r.URL.Path})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -77,22 +85,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		s.writeError(w, r, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	job, err := s.submit(req)
 	switch {
-	case errors.Is(err, errQueueFull):
-		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, errQueueFull), errors.Is(err, errShed):
+		s.writeError(w, r, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, errDraining):
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		s.writeError(w, r, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, errJournal):
+		s.writeError(w, r, http.StatusInternalServerError, err.Error())
 	case err != nil:
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
 	default:
 		s.mu.Lock()
 		v := job.view()
 		s.mu.Unlock()
-		writeJSON(w, http.StatusAccepted, v)
+		s.writeJSON(w, http.StatusAccepted, v)
 	}
 }
 
@@ -105,27 +115,36 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+	s.writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.getJob(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job")
+		s.writeError(w, r, http.StatusNotFound, "no such job")
 		return
 	}
 	if ms, err := strconv.Atoi(r.URL.Query().Get("wait_ms")); err == nil && ms > 0 {
 		// Long-poll: return early when the job reaches a terminal state.
+		// Oversized waits are clamped so a client cannot pin a handler
+		// goroutine indefinitely; a job already terminal returns at once
+		// (its done channel is closed).
+		wait := time.Duration(ms) * time.Millisecond
+		if wait > s.opts.LongPollMax {
+			wait = s.opts.LongPollMax
+		}
+		t := time.NewTimer(wait)
 		select {
 		case <-job.done:
-		case <-time.After(time.Duration(ms) * time.Millisecond):
+		case <-t.C:
 		case <-r.Context().Done():
 		}
+		t.Stop()
 	}
 	s.mu.Lock()
 	v := job.view()
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, v)
+	s.writeJSON(w, http.StatusOK, v)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -133,11 +152,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	found, canceled := s.cancelJob(id)
 	switch {
 	case !found:
-		writeError(w, http.StatusNotFound, "no such job")
+		s.writeError(w, r, http.StatusNotFound, "no such job")
 	case !canceled:
-		writeError(w, http.StatusConflict, "job already finished")
+		s.writeError(w, r, http.StatusConflict, "job already finished")
 	default:
-		writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "canceling"})
+		s.writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "canceling"})
 	}
 }
 
@@ -151,7 +170,7 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 	for _, p := range s.opts.Catalogue {
 		out = append(out, kernelView{Abbr: p.Abbr, Name: p.Name, PaperBW: p.PaperBW})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"kernels": out})
+	s.writeJSON(w, http.StatusOK, map[string]any{"kernels": out})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -164,7 +183,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	s.writeJSON(w, code, map[string]any{
 		"status":   status,
 		"uptime_s": time.Since(s.metrics.start).Seconds(),
 	})

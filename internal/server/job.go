@@ -71,10 +71,12 @@ type Job struct {
 	ID      string
 	Request JobRequest
 
-	Status   Status
-	Error    string
-	Result   *JobResult
-	CacheHit bool
+	Status    Status
+	Error     string
+	LastError string // most recent transient error, kept across retries
+	Attempts  int    // run attempts so far (1 on the first try)
+	Result    *JobResult
+	CacheHit  bool
 
 	SubmittedAt time.Time
 	StartedAt   time.Time
@@ -91,6 +93,8 @@ type JobView struct {
 	Status      Status     `json:"status"`
 	Request     JobRequest `json:"request"`
 	Error       string     `json:"error,omitempty"`
+	LastError   string     `json:"last_error,omitempty"`
+	Attempts    int        `json:"attempts"`
 	CacheHit    bool       `json:"cache_hit"`
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -106,6 +110,8 @@ func (j *Job) view() JobView {
 		Status:      j.Status,
 		Request:     j.Request,
 		Error:       j.Error,
+		LastError:   j.LastError,
+		Attempts:    j.Attempts,
 		CacheHit:    j.CacheHit,
 		SubmittedAt: j.SubmittedAt,
 		Result:      j.Result,

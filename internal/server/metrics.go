@@ -20,15 +20,22 @@ type Metrics struct {
 	jobsFailed    atomic.Uint64
 	jobsCanceled  atomic.Uint64
 	jobsRejected  atomic.Uint64 // queue-full 429s
+	jobsShed      atomic.Uint64 // admission control: non-cached work refused over the high-water mark
+	jobRetries    atomic.Uint64 // transient failures scheduled for another attempt
 	jobsRunning   atomic.Int64
+
+	journalReplayed    atomic.Uint64 // jobs restored from the journal at startup
+	journalErrors      atomic.Uint64 // journal appends/compactions that failed
+	journalCompactions atomic.Uint64
 
 	simCycles atomic.Uint64 // cycles actually simulated (cache hits excluded)
 
 	jobSeconds atomic.Uint64 // float64 bits; total wall time of finished jobs
 	jobCount   atomic.Uint64
 
-	queueDepth func() int
-	cacheStats func() (hits, misses, evictions uint64, entries int)
+	queueDepth     func() int
+	cacheStats     func() (hits, misses, evictions uint64, entries int)
+	journalRecords func() int // nil when no journal is configured
 }
 
 func newMetrics(queueDepth func() int, cacheStats func() (uint64, uint64, uint64, int)) *Metrics {
@@ -60,6 +67,14 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("dased_jobs_failed_total", "Jobs that errored, timed out or panicked.", m.jobsFailed.Load())
 	counter("dased_jobs_canceled_total", "Jobs canceled by clients.", m.jobsCanceled.Load())
 	counter("dased_jobs_rejected_total", "Submissions rejected with 429 (queue full).", m.jobsRejected.Load())
+	counter("dased_jobs_shed_total", "Non-cached submissions shed over the queue high-water mark.", m.jobsShed.Load())
+	counter("dased_job_retries_total", "Job attempts rescheduled after a transient failure.", m.jobRetries.Load())
+	counter("dased_journal_replayed_total", "Jobs restored from the journal at startup.", m.journalReplayed.Load())
+	counter("dased_journal_errors_total", "Journal operations that failed.", m.journalErrors.Load())
+	counter("dased_journal_compactions_total", "Journal snapshot rewrites.", m.journalCompactions.Load())
+	if m.journalRecords != nil {
+		gauge("dased_journal_records", "Records in the journal file.", float64(m.journalRecords()))
+	}
 	hits, misses, evictions, entries := m.cacheStats()
 	counter("dased_cache_hits_total", "Result-cache lookups served without simulating.", hits)
 	counter("dased_cache_misses_total", "Result-cache lookups that simulated.", misses)

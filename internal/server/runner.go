@@ -6,12 +6,31 @@ import (
 	"fmt"
 	"time"
 
+	"dasesim/internal/faults"
+	"dasesim/internal/journal"
 	"dasesim/internal/metrics"
 	"dasesim/internal/sched"
 	"dasesim/internal/sim"
 	"dasesim/internal/simcache"
 	"dasesim/internal/workload"
 )
+
+// transientErr marks a failure as retry-eligible without polluting the
+// user-visible message. Injected faults (faults.ErrInjected) are also
+// treated as transient.
+type transientErr struct{ err error }
+
+func (e transientErr) Error() string { return e.err.Error() }
+func (e transientErr) Unwrap() error { return e.err }
+
+// isTransient reports whether err should be retried: injected faults,
+// journal I/O failures, and worker panics. Context cancellation and
+// deadlines are never transient — a cancel is a decision and a determinstic
+// simulation that timed out once will time out again.
+func isTransient(err error) bool {
+	var te transientErr
+	return errors.As(err, &te) || errors.Is(err, faults.ErrInjected)
+}
 
 // worker drains the job queue until it is closed by Shutdown.
 func (s *Server) worker() {
@@ -22,7 +41,7 @@ func (s *Server) worker() {
 }
 
 // runJob executes one queued job, converting panics and context errors into
-// terminal job states instead of process death.
+// terminal job states (or a retry) instead of process death.
 func (s *Server) runJob(job *Job) {
 	s.mu.Lock()
 	if job.Status != StatusQueued {
@@ -31,9 +50,11 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 	job.Status = StatusRunning
+	job.Attempts++
 	job.StartedAt = time.Now()
 	ctx, cancel := context.WithTimeout(s.baseCtx, job.plan.timeout)
 	job.cancel = cancel
+	attempt := job.Attempts
 	s.mu.Unlock()
 
 	s.metrics.jobsRunning.Add(1)
@@ -41,42 +62,134 @@ func (s *Server) runJob(job *Job) {
 	defer cancel()
 	defer func() {
 		if r := recover(); r != nil {
-			s.finishJob(job, nil, false, fmt.Errorf("panic: %v", r))
+			s.finishJob(job, nil, false, transientErr{fmt.Errorf("panic: %v", r)})
 		}
 	}()
+
+	// Commit the started record before simulating; a journal that cannot
+	// take the record is a transient failure of this attempt.
+	if err := s.appendJournal(ctx, journal.OpStarted, job.ID, startedData{Attempt: attempt}); err != nil {
+		s.metrics.journalErrors.Add(1)
+		if ctx.Err() != nil {
+			err = ctx.Err()
+		} else {
+			err = transientErr{fmt.Errorf("journal append: %w", err)}
+		}
+		s.finishJob(job, nil, false, err)
+		return
+	}
+	if err := faults.FireCtx(ctx, "server.worker"); err != nil {
+		s.finishJob(job, nil, false, err)
+		return
+	}
 
 	res, cacheHit, err := s.execute(ctx, job.plan)
 	s.finishJob(job, res, cacheHit, err)
 }
 
-// finishJob moves the job to its terminal state and updates the metrics.
+// finishJob moves the job to a terminal state — or, when the failure is
+// transient and attempts remain, schedules a retry with backoff.
 func (s *Server) finishJob(job *Job, res *JobResult, cacheHit bool, err error) {
 	s.mu.Lock()
-	job.FinishedAt = time.Now()
-	job.CacheHit = cacheHit
+	if job.Status != StatusRunning {
+		s.mu.Unlock()
+		return
+	}
 	switch {
 	case err == nil:
-		job.Status = StatusDone
-		job.Result = res
-		s.metrics.jobsCompleted.Add(1)
+		s.finalizeLocked(job, StatusDone, "", res, cacheHit)
 	case errors.Is(err, context.Canceled):
-		job.Status = StatusCanceled
-		job.Error = "canceled"
-		s.metrics.jobsCanceled.Add(1)
+		s.finalizeLocked(job, StatusCanceled, "canceled", nil, false)
 	case errors.Is(err, context.DeadlineExceeded):
-		job.Status = StatusFailed
-		job.Error = fmt.Sprintf("timeout after %v", job.plan.timeout)
-		s.metrics.jobsFailed.Add(1)
+		s.finalizeLocked(job, StatusFailed, fmt.Sprintf("timeout after %v", job.plan.timeout), nil, false)
+	case isTransient(err) && job.Attempts <= s.opts.MaxRetries && !s.draining:
+		job.Status = StatusQueued
+		job.LastError = err.Error()
+		delay := s.backoffLocked(job.Attempts)
+		s.metrics.jobRetries.Add(1)
+		s.mu.Unlock()
+		s.logf("job=%s attempt=%d retry_in=%s err=%q", job.ID, job.Attempts, delay.Round(time.Millisecond), err)
+		s.requeueAfterBackoff(job, delay)
+		return
 	default:
-		job.Status = StatusFailed
-		job.Error = err.Error()
-		s.metrics.jobsFailed.Add(1)
+		s.finalizeLocked(job, StatusFailed, err.Error(), nil, false)
 	}
 	wall := job.FinishedAt.Sub(job.StartedAt)
-	close(job.done)
+	status, hit, attempts := job.Status, job.CacheHit, job.Attempts
 	s.mu.Unlock()
 	s.metrics.observeJob(wall)
-	s.logf("job=%s status=%s cache_hit=%t wall=%s", job.ID, job.Status, cacheHit, wall.Round(time.Millisecond))
+	s.logf("job=%s status=%s cache_hit=%t attempts=%d wall=%s", job.ID, status, hit, attempts, wall.Round(time.Millisecond))
+}
+
+// finalizeLocked commits a terminal transition: job fields, metrics, the
+// done channel, and (best-effort) the journal's finished record. The caller
+// holds s.mu. A finished record that fails to commit is only logged: the
+// job's state is authoritative in memory, and on a crash the journal's
+// non-terminal records make the job re-run — which is semantically invisible
+// because results are deterministic and content-addressed.
+func (s *Server) finalizeLocked(job *Job, status Status, errMsg string, res *JobResult, cacheHit bool) {
+	job.Status = status
+	job.Error = errMsg
+	job.Result = res
+	job.CacheHit = cacheHit
+	job.FinishedAt = time.Now()
+	close(job.done)
+	switch status {
+	case StatusDone:
+		s.metrics.jobsCompleted.Add(1)
+	case StatusCanceled:
+		s.metrics.jobsCanceled.Add(1)
+	default:
+		s.metrics.jobsFailed.Add(1)
+	}
+	if err := s.appendJournalBounded(journal.OpFinished, job.ID, finishedData{
+		Status: status, Error: errMsg, CacheHit: cacheHit, Attempts: job.Attempts, Result: res,
+	}); err != nil {
+		s.metrics.journalErrors.Add(1)
+		s.logf("journal append finished job=%s: %v", job.ID, err)
+	}
+	s.maybeCompactLocked()
+}
+
+// backoffLocked returns the capped exponential backoff with full jitter for
+// the given attempt number; the caller holds s.mu (the jitter PRNG is not
+// concurrency-safe).
+func (s *Server) backoffLocked(attempt int) time.Duration {
+	d := s.opts.RetryBaseDelay << uint(attempt-1)
+	if d <= 0 || d > s.opts.RetryMaxDelay {
+		d = s.opts.RetryMaxDelay
+	}
+	if s.jitterFn != nil {
+		return s.jitterFn(d)
+	}
+	return time.Duration(s.rng.Int64N(int64(d)) + 1)
+}
+
+// requeueAfterBackoff sleeps out the backoff (cut short when the server
+// starts draining) and puts the job back on the queue. A job canceled during
+// its backoff stays canceled; a drain or full queue during backoff fails the
+// job with its last transient error.
+func (s *Server) requeueAfterBackoff(job *Job, delay time.Duration) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-s.drainCh:
+			t.Stop()
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if job.Status != StatusQueued {
+			return // canceled while backing off
+		}
+		if s.draining || len(s.queue) == cap(s.queue) {
+			s.finalizeLocked(job, StatusFailed, "retry abandoned: "+job.LastError, nil, false)
+			return
+		}
+		s.queue <- job
+	}()
 }
 
 // execute runs the plan's simulation through the content-addressed cache and

@@ -7,23 +7,36 @@
 //
 // Robustness properties:
 //
-//   - a full queue rejects submissions with 429 instead of blocking;
+//   - a full queue rejects submissions with 429 instead of blocking, and
+//     above a high-water mark non-cached submissions are shed first;
 //   - each job runs under a context with a per-job timeout, and client
 //     cancellation (DELETE) aborts queued and running jobs;
 //   - a panicking simulation fails its job, not the process;
+//   - jobs that fail on transient errors (injected faults, journal I/O,
+//     worker panics) are retried with capped exponential backoff and full
+//     jitter before being marked failed;
+//   - with a journal configured, every lifecycle transition is committed to
+//     an fsynced write-ahead log; on restart, terminal jobs are restored as
+//     queryable records and non-terminal jobs are re-enqueued — simulation
+//     results are deterministic, so recovery is semantically invisible;
 //   - Shutdown stops intake, drains queued and running jobs, and
 //     hard-cancels whatever is still running when its context expires.
 package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"dasesim/internal/config"
+	"dasesim/internal/journal"
 	"dasesim/internal/kernels"
 	"dasesim/internal/simcache"
 )
@@ -54,6 +67,25 @@ type Options struct {
 	// MaxJobs bounds the retained job records; the oldest terminal jobs are
 	// forgotten beyond it (default: 4096).
 	MaxJobs int
+	// JournalPath enables the durable job journal at this file. Empty (the
+	// default) keeps all job state in memory, as before.
+	JournalPath string
+	// MaxRetries is how many extra attempts a job failing on a transient
+	// error gets before it is marked failed (default: 2; negative disables
+	// retries).
+	MaxRetries int
+	// RetryBaseDelay is the backoff before the first retry; attempt n waits
+	// up to RetryBaseDelay<<(n-1), capped at RetryMaxDelay, with full jitter
+	// (defaults: 25ms base, 1s cap).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// ShedHighWater is the queue length at which admission control starts
+	// shedding submissions whose result is not already cached (default:
+	// 3/4 of QueueDepth; negative disables shedding).
+	ShedHighWater int
+	// LongPollMax clamps the wait_ms parameter of GET /v1/jobs/{id}
+	// (default: 60s).
+	LongPollMax time.Duration
 	// Logger receives request and job logs (default: log.Default()). Use
 	// log.New(io.Discard, "", 0) to silence.
 	Logger *log.Logger
@@ -85,6 +117,30 @@ func (o Options) withDefaults() Options {
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 4096
 	}
+	switch {
+	case o.MaxRetries == 0:
+		o.MaxRetries = 2
+	case o.MaxRetries < 0:
+		o.MaxRetries = 0
+	}
+	if o.RetryBaseDelay <= 0 {
+		o.RetryBaseDelay = 25 * time.Millisecond
+	}
+	if o.RetryMaxDelay <= 0 {
+		o.RetryMaxDelay = time.Second
+	}
+	switch {
+	case o.ShedHighWater == 0:
+		o.ShedHighWater = o.QueueDepth * 3 / 4
+		if o.ShedHighWater < 1 {
+			o.ShedHighWater = 1
+		}
+	case o.ShedHighWater < 0:
+		o.ShedHighWater = o.QueueDepth + 1 // never reached: shedding off
+	}
+	if o.LongPollMax <= 0 {
+		o.LongPollMax = 60 * time.Second
+	}
 	if o.Logger == nil {
 		o.Logger = log.Default()
 	}
@@ -99,12 +155,16 @@ type Server struct {
 	cache   *simcache.Memory
 	metrics *Metrics
 	queue   chan *Job
+	journal *journal.Journal
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+	drainCh    chan struct{} // closed when draining begins; wakes retry backoffs
 	wg         sync.WaitGroup
 
 	mu       sync.Mutex
+	rng      *rand.Rand                        // backoff jitter; guarded by mu
+	jitterFn func(time.Duration) time.Duration // test hook; nil means full jitter
 	jobs     map[string]*Job
 	jobOrder []string // submission order, for listing and record eviction
 	nextID   uint64
@@ -112,7 +172,10 @@ type Server struct {
 	started  bool
 }
 
-// New builds a Server with the given options.
+// New builds a Server with the given options. When a journal path is
+// configured, New replays it: terminal jobs become queryable records (their
+// results re-seed the cache), non-terminal jobs are re-enqueued, and the
+// journal is compacted to the recovered state.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	if err := opts.Cfg.Validate(); err != nil {
@@ -128,6 +191,8 @@ func New(opts Options) (*Server, error) {
 		queue:      make(chan *Job, opts.QueueDepth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		drainCh:    make(chan struct{}),
+		rng:        rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64())),
 		jobs:       map[string]*Job{},
 	}
 	s.metrics = newMetrics(
@@ -137,7 +202,240 @@ func New(opts Options) (*Server, error) {
 			return st.Hits, st.Misses, st.Evictions, st.Entries
 		},
 	)
+	if opts.JournalPath != "" {
+		jnl, records, err := journal.Open(opts.JournalPath)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.journal = jnl
+		s.metrics.journalRecords = jnl.Len
+		s.replay(records)
+	}
 	return s, nil
+}
+
+// journal payloads. submittedData carries the request so replay can rebuild
+// the plan; finishedData snapshots everything a terminal job needs to stay
+// queryable across restarts.
+type submittedData struct {
+	Request JobRequest `json:"request"`
+}
+
+type startedData struct {
+	Attempt int `json:"attempt"`
+}
+
+type finishedData struct {
+	Status   Status     `json:"status"`
+	Error    string     `json:"error,omitempty"`
+	CacheHit bool       `json:"cache_hit,omitempty"`
+	Attempts int        `json:"attempts,omitempty"`
+	Result   *JobResult `json:"result,omitempty"`
+}
+
+// appendJournal commits one lifecycle record; it is a no-op without a
+// journal. data must be JSON-marshalable.
+func (s *Server) appendJournal(ctx context.Context, op, jobID string, data any) error {
+	if s.journal == nil {
+		return nil
+	}
+	rec := journal.Record{Op: op, JobID: jobID}
+	if data != nil {
+		raw, err := json.Marshal(data)
+		if err != nil {
+			return fmt.Errorf("journal payload: %w", err)
+		}
+		rec.Data = raw
+	}
+	return s.journal.Append(ctx, rec)
+}
+
+// journalAppendTimeout bounds journal appends that are not already scoped to
+// a job context. Several appenders run while holding s.mu; without a bound, a
+// hung fsync (or an injected sleep fault) would wedge the whole server.
+const journalAppendTimeout = 3 * time.Second
+
+// appendJournalBounded is appendJournal with its own deadline, for call sites
+// whose surrounding context is unbounded (submit, cancel, finalize).
+func (s *Server) appendJournalBounded(op, jobID string, data any) error {
+	if s.journal == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), journalAppendTimeout)
+	defer cancel()
+	return s.appendJournal(ctx, op, jobID, data)
+}
+
+// replay rebuilds job state from journal records at construction time:
+// terminal jobs are restored verbatim (and their results re-seed the result
+// cache), non-terminal jobs are re-enqueued for execution. Runs before
+// Start, so the queue sends below cannot race workers.
+func (s *Server) replay(records []journal.Record) {
+	type state struct {
+		req      JobRequest
+		haveReq  bool
+		started  time.Time
+		submit   time.Time
+		finished time.Time
+		attempts int
+		fin      *finishedData
+	}
+	states := map[string]*state{}
+	var order []string
+	for _, rec := range records {
+		st, ok := states[rec.JobID]
+		if !ok {
+			st = &state{}
+			states[rec.JobID] = st
+			order = append(order, rec.JobID)
+		}
+		switch rec.Op {
+		case journal.OpSubmitted:
+			var d submittedData
+			if json.Unmarshal(rec.Data, &d) == nil {
+				st.req, st.haveReq = d.Request, true
+				st.submit = rec.Time
+			}
+		case journal.OpStarted:
+			var d startedData
+			_ = json.Unmarshal(rec.Data, &d)
+			st.started = rec.Time
+			if d.Attempt > st.attempts {
+				st.attempts = d.Attempt
+			}
+		case journal.OpFinished:
+			var d finishedData
+			if json.Unmarshal(rec.Data, &d) == nil {
+				st.fin = &d
+				st.finished = rec.Time
+			}
+		case journal.OpCanceled:
+			st.fin = &finishedData{Status: StatusCanceled, Error: "canceled"}
+			st.finished = rec.Time
+		}
+		// Track the highest numeric job ID so new submissions continue the
+		// sequence instead of colliding with replayed ones.
+		if n, err := strconv.ParseUint(strings.TrimPrefix(rec.JobID, "job-"), 10, 64); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+	}
+	for _, id := range order {
+		st := states[id]
+		if !st.haveReq {
+			continue // orphan started/finished records from a torn prefix
+		}
+		job := &Job{
+			ID:          id,
+			Request:     st.req,
+			SubmittedAt: st.submit,
+			Attempts:    st.attempts,
+			done:        make(chan struct{}),
+		}
+		switch {
+		case st.fin != nil:
+			job.Status = st.fin.Status
+			job.Error = st.fin.Error
+			job.CacheHit = st.fin.CacheHit
+			if st.fin.Attempts > job.Attempts {
+				job.Attempts = st.fin.Attempts
+			}
+			job.Result = st.fin.Result
+			job.StartedAt = st.started
+			job.FinishedAt = st.finished
+			close(job.done)
+			// Re-seed the result cache so identical submissions after the
+			// restart are still cache hits.
+			if job.Result != nil && job.Result.Sim != nil {
+				if pl, err := s.buildPlan(st.req); err == nil {
+					key := simcache.Key(s.opts.Cfg, pl.profiles, pl.alloc, pl.cycles, pl.seed, pl.variant())
+					s.cache.Put(key, job.Result.Sim)
+				}
+			}
+		default:
+			pl, err := s.buildPlan(st.req)
+			if err != nil {
+				// The catalogue or limits changed under the journal; the job
+				// can no longer run.
+				job.Status = StatusFailed
+				job.Error = fmt.Sprintf("recovery: %v", err)
+				job.FinishedAt = time.Now()
+				close(job.done)
+			} else if len(s.queue) == cap(s.queue) {
+				job.Status = StatusFailed
+				job.Error = "recovery: queue full"
+				job.FinishedAt = time.Now()
+				close(job.done)
+				s.metrics.jobsShed.Add(1)
+			} else {
+				job.Status = StatusQueued
+				job.plan = pl
+				s.queue <- job
+			}
+		}
+		s.jobs[id] = job
+		s.jobOrder = append(s.jobOrder, id)
+		s.metrics.journalReplayed.Add(1)
+	}
+	s.evictJobRecordsLocked()
+	if err := s.compactLocked(); err != nil {
+		s.logf("journal compact after replay: %v", err)
+	}
+	if n := len(s.jobs); n > 0 {
+		s.logf("journal replayed jobs=%d requeued=%d", n, len(s.queue))
+	}
+}
+
+// compactLocked rewrites the journal as a snapshot of the retained jobs
+// (submitted + started/finished per job); the caller holds s.mu or is the
+// constructor. MaxJobs is honored because eviction trims jobOrder first.
+func (s *Server) compactLocked() error {
+	if s.journal == nil {
+		return nil
+	}
+	recs := make([]journal.Record, 0, 2*len(s.jobOrder))
+	add := func(op, id string, t time.Time, data any) {
+		raw, err := json.Marshal(data)
+		if err != nil {
+			return
+		}
+		recs = append(recs, journal.Record{Op: op, JobID: id, Time: t, Data: raw})
+	}
+	for _, id := range s.jobOrder {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		add(journal.OpSubmitted, id, j.SubmittedAt, submittedData{Request: j.Request})
+		switch {
+		case j.Status.terminal():
+			add(journal.OpFinished, id, j.FinishedAt, finishedData{
+				Status: j.Status, Error: j.Error, CacheHit: j.CacheHit,
+				Attempts: j.Attempts, Result: j.Result,
+			})
+		case j.Status == StatusRunning:
+			add(journal.OpStarted, id, j.StartedAt, startedData{Attempt: j.Attempts})
+		}
+	}
+	if err := s.journal.Rewrite(recs); err != nil {
+		return err
+	}
+	s.metrics.journalCompactions.Add(1)
+	return nil
+}
+
+// maybeCompactLocked compacts once the journal holds several times more
+// records than there are retained jobs; the caller holds s.mu.
+func (s *Server) maybeCompactLocked() {
+	if s.journal == nil {
+		return
+	}
+	if s.journal.Len() > 4*len(s.jobs)+16 {
+		if err := s.compactLocked(); err != nil {
+			s.logf("journal compact: %v", err)
+			s.metrics.journalErrors.Add(1)
+		}
+	}
 }
 
 // Start launches the worker pool. It is idempotent.
@@ -155,18 +453,23 @@ func (s *Server) Start() {
 }
 
 // Shutdown gracefully stops the server: no new submissions are accepted,
-// queued and running jobs are drained, and when ctx expires before the
-// drain completes the remaining jobs are hard-cancelled (still waiting for
-// them to unwind). Safe to call more than once.
+// queued and running jobs are drained (jobs waiting in retry backoff are
+// failed), and when ctx expires before the drain completes the remaining
+// jobs are hard-cancelled (still waiting for them to unwind). The journal,
+// if any, is closed last. Safe to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
+		close(s.drainCh)
 	}
 	started := s.started
 	s.mu.Unlock()
 	if !started {
+		if s.journal != nil {
+			return s.journal.Close()
+		}
 		return nil
 	}
 	done := make(chan struct{})
@@ -174,16 +477,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		// Abort running simulations; they poll their context and unwind in
 		// microseconds, so this second wait is short.
 		s.baseCancel()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if s.journal != nil {
+		if cerr := s.journal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // lookup resolves a kernel abbreviation against the catalogue.
@@ -198,7 +507,12 @@ func (s *Server) lookup(abbr string) (kernels.Profile, bool) {
 
 // submit registers and enqueues a job built from req. It returns the job,
 // or an error classified by the caller into an HTTP status: errQueueFull,
-// errDraining, or a validation error.
+// errShed, errDraining, errJournal, or a validation error.
+//
+// Ordering is write-ahead: the submitted record is committed to the journal
+// before the job becomes visible, so an accepted job always survives a
+// crash. Queue capacity is checked under the mutex first (all queue sends
+// hold it), which keeps the journal free of records for rejected jobs.
 func (s *Server) submit(req JobRequest) (*Job, error) {
 	pl, err := s.buildPlan(req)
 	if err != nil {
@@ -209,6 +523,19 @@ func (s *Server) submit(req JobRequest) (*Job, error) {
 	if s.draining {
 		return nil, errDraining
 	}
+	if len(s.queue) == cap(s.queue) {
+		s.metrics.jobsRejected.Add(1)
+		return nil, errQueueFull
+	}
+	if len(s.queue) >= s.opts.ShedHighWater {
+		// Over the high-water mark only already-cached (cheap) submissions
+		// are admitted: graceful degradation sheds the expensive work first.
+		key := simcache.Key(s.opts.Cfg, pl.profiles, pl.alloc, pl.cycles, pl.seed, pl.variant())
+		if !s.cache.Peek(key) {
+			s.metrics.jobsShed.Add(1)
+			return nil, errShed
+		}
+	}
 	s.nextID++
 	job := &Job{
 		ID:          fmt.Sprintf("job-%d", s.nextID),
@@ -218,12 +545,12 @@ func (s *Server) submit(req JobRequest) (*Job, error) {
 		plan:        pl,
 		done:        make(chan struct{}),
 	}
-	select {
-	case s.queue <- job:
-	default:
-		s.metrics.jobsRejected.Add(1)
-		return nil, errQueueFull
+	if err := s.appendJournalBounded(journal.OpSubmitted, job.ID, submittedData{Request: req}); err != nil {
+		s.nextID--
+		s.metrics.journalErrors.Add(1)
+		return nil, fmt.Errorf("%w: %v", errJournal, err)
 	}
+	s.queue <- job
 	s.jobs[job.ID] = job
 	s.jobOrder = append(s.jobOrder, job.ID)
 	s.evictJobRecordsLocked()
@@ -265,12 +592,17 @@ func (s *Server) cancelJob(id string) (found, canceled bool) {
 	}
 	switch job.Status {
 	case StatusQueued:
-		// The worker will observe the status and skip it.
+		// The worker (or the retry requeue, if the job was in backoff) will
+		// observe the status and skip it.
 		job.Status = StatusCanceled
 		job.Error = "canceled"
 		job.FinishedAt = time.Now()
 		close(job.done)
 		s.metrics.jobsCanceled.Add(1)
+		if err := s.appendJournalBounded(journal.OpCanceled, job.ID, nil); err != nil {
+			s.metrics.journalErrors.Add(1)
+			s.logf("journal append canceled job=%s: %v", job.ID, err)
+		}
 		return true, true
 	case StatusRunning:
 		job.cancel()

@@ -15,10 +15,12 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 
 	"dasesim/internal/config"
+	"dasesim/internal/faults"
 	"dasesim/internal/kernels"
 	"dasesim/internal/sim"
 )
@@ -145,8 +147,21 @@ func (m *Memory) put(key string, r *sim.Result) {
 	m.order = append(m.order, key)
 }
 
+// Peek reports whether key is resident without touching the hit/miss
+// counters — the server's admission control uses it to tell cheap
+// (already-cached) submissions from expensive ones when shedding load.
+func (m *Memory) Peek(key string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.entries[key]
+	return ok
+}
+
 // GetOrCompute implements Cache.
 func (m *Memory) GetOrCompute(ctx context.Context, key string, compute func() (*sim.Result, error)) (*sim.Result, error) {
+	if err := faults.FireCtx(ctx, "simcache.get"); err != nil {
+		return nil, err
+	}
 	for {
 		m.mu.Lock()
 		if r, ok := m.entries[key]; ok {
@@ -177,15 +192,32 @@ func (m *Memory) GetOrCompute(ctx context.Context, key string, compute func() (*
 		m.misses++
 		m.mu.Unlock()
 
-		r, err := compute()
-		m.mu.Lock()
-		delete(m.flights, key)
-		if err == nil {
-			m.put(key, r)
-		}
-		m.mu.Unlock()
-		fl.r, fl.err = r, err
-		close(fl.done)
+		// The cleanup must run even when compute panics (the server recovers
+		// worker panics and may retry the same key): the flight is removed
+		// and its done channel closed with an error, so waiters recompute
+		// instead of blocking forever on an abandoned flight.
+		var (
+			r        *sim.Result
+			err      error
+			panicked = true
+		)
+		func() {
+			defer func() {
+				m.mu.Lock()
+				delete(m.flights, key)
+				if !panicked && err == nil {
+					m.put(key, r)
+				}
+				m.mu.Unlock()
+				fl.r, fl.err = r, err
+				if panicked && fl.err == nil {
+					fl.err = errors.New("simcache: compute panicked")
+				}
+				close(fl.done)
+			}()
+			r, err = compute()
+			panicked = false
+		}()
 		return r, err
 	}
 }

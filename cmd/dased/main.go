@@ -25,6 +25,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -47,18 +48,21 @@ func main() {
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "shutdown drain budget before running jobs are hard-cancelled")
 	configPath := flag.String("config", "", "load the GPU configuration from this JSON file")
 	kernelsPath := flag.String("kernels", "", "load custom kernel profiles from this JSON file")
+	snapRetention := flag.Int("snapshot-retention", 0, "interval snapshots kept per result (0: 4096, negative: unlimited)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	opts := server.Options{
-		Workers:       *workers,
-		QueueDepth:    *queueDepth,
-		JobTimeout:    *jobTimeout,
-		DefaultCycles: *defaultCycles,
-		MaxCycles:     *maxCycles,
-		CacheEntries:  *cacheEntries,
-		JournalPath:   *journalPath,
-		MaxRetries:    *maxRetries,
-		ShedHighWater: *shedHighWater,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		JobTimeout:        *jobTimeout,
+		DefaultCycles:     *defaultCycles,
+		MaxCycles:         *maxCycles,
+		CacheEntries:      *cacheEntries,
+		JournalPath:       *journalPath,
+		MaxRetries:        *maxRetries,
+		ShedHighWater:     *shedHighWater,
+		SnapshotRetention: *snapRetention,
 	}
 	// In Options, 0 retries means "use the default"; on the command line an
 	// explicit 0 means none.
@@ -85,6 +89,23 @@ func main() {
 		log.Fatal(err)
 	}
 	srv.Start()
+
+	if *debugAddr != "" {
+		// The profiling endpoints live on their own listener so they are
+		// never exposed on the public API address.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("dased pprof listening on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				log.Printf("dased pprof server: %v", err)
+			}
+		}()
+	}
 
 	// ReadTimeout covers header + body: job submissions are small JSON
 	// documents, so a client that cannot deliver one inside 30s is stalled or

@@ -1,0 +1,169 @@
+package dasesim
+
+// Determinism golden tests: the simulator's correctness contract is that a
+// (config, profiles, alloc, cycles, seed) tuple maps to exactly one Result —
+// the journal's crash recovery and the content-addressed result cache both
+// depend on it, and every engine optimization must preserve it byte for byte.
+//
+// Two layers of protection:
+//
+//  1. Same-process: each scenario runs twice on fresh GPUs and the Results
+//     (including every IntervalSnapshot) must be deeply equal.
+//  2. Cross-process/cross-commit: a SHA-256 fingerprint of the canonical JSON
+//     encoding of the Result is compared against testdata/determinism_golden.json.
+//     Running the suite with -count=2, on another machine, or after an engine
+//     refactor must reproduce the recorded fingerprints exactly.
+//
+// Regenerate the golden file (only when an *intentional* model change lands)
+// with: go test -run TestDeterminismGolden -update-golden
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dasesim/internal/sched"
+	"dasesim/internal/sim"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/determinism_golden.json with the current engine's fingerprints")
+
+const goldenPath = "testdata/determinism_golden.json"
+
+// fingerprint canonically encodes a Result and hashes it. JSON encoding of
+// Go float64s is deterministic (shortest round-trip representation), so the
+// hash covers every field of the Result and all snapshots bit-exactly.
+func fingerprint(t *testing.T, res *sim.Result) string {
+	t.Helper()
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+type detCase struct {
+	name   string
+	abbrs  []string
+	alloc  []int
+	cycles uint64
+	seed   uint64
+	run    func(t *testing.T, c detCase) *sim.Result
+}
+
+func runShared(t *testing.T, c detCase) *sim.Result {
+	t.Helper()
+	res, err := sim.RunShared(DefaultConfig(), detProfiles(t, c.abbrs), c.alloc, c.cycles, c.seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func runSharedEpochs(t *testing.T, c detCase) *sim.Result {
+	t.Helper()
+	res, err := sim.RunShared(DefaultConfig(), detProfiles(t, c.abbrs), c.alloc, c.cycles, c.seed, sim.WithPriorityEpochs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// runFairPolicy exercises the dynamic-reallocation path: DASE-Fair triggers
+// SetAllocation, SM draining and reassignment — the parts of the engine a
+// performance refactor is most likely to disturb.
+func runFairPolicy(t *testing.T, c detCase) *sim.Result {
+	t.Helper()
+	res, err := sched.Run(DefaultConfig(), detProfiles(t, c.abbrs), c.alloc, c.cycles, c.seed, sched.NewDASEFair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func detProfiles(t *testing.T, abbrs []string) []KernelProfile {
+	t.Helper()
+	ps := make([]KernelProfile, len(abbrs))
+	for i, ab := range abbrs {
+		p, ok := KernelByAbbr(ab)
+		if !ok {
+			t.Fatalf("kernel %s missing", ab)
+		}
+		ps[i] = p
+	}
+	return ps
+}
+
+func detCases() []detCase {
+	return []detCase{
+		{name: "pair-SB-SD", abbrs: []string{"SB", "SD"}, alloc: []int{8, 8}, cycles: 120_000, seed: 1, run: runShared},
+		{name: "pair-VA-CT-uneven", abbrs: []string{"VA", "CT"}, alloc: []int{6, 10}, cycles: 120_000, seed: 3, run: runShared},
+		{name: "quad-SB-SD-CT-QR", abbrs: []string{"SB", "SD", "CT", "QR"}, alloc: []int{4, 4, 4, 4}, cycles: 120_000, seed: 7, run: runShared},
+		{name: "pair-SB-SD-epochs", abbrs: []string{"SB", "SD"}, alloc: []int{8, 8}, cycles: 120_000, seed: 1, run: runSharedEpochs},
+		{name: "pair-VA-CT-dasefair", abbrs: []string{"VA", "CT"}, alloc: []int{8, 8}, cycles: 160_000, seed: 5, run: runFairPolicy},
+	}
+}
+
+// TestDeterminismGolden is the safety net for engine optimizations: two runs
+// in-process must be deeply equal, and their fingerprint must match the
+// recorded golden value.
+func TestDeterminismGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped with -short")
+	}
+	golden := map[string]string{}
+	if data, err := os.ReadFile(goldenPath); err == nil {
+		if err := json.Unmarshal(data, &golden); err != nil {
+			t.Fatalf("parse %s: %v", goldenPath, err)
+		}
+	} else if !*updateGolden {
+		t.Fatalf("read %s: %v (regenerate with -update-golden)", goldenPath, err)
+	}
+
+	got := map[string]string{}
+	for _, c := range detCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			first := c.run(t, c)
+			second := c.run(t, c)
+			if !reflect.DeepEqual(first, second) {
+				t.Fatalf("two identical runs diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+			}
+			if len(first.Snapshots) == 0 {
+				t.Fatal("run produced no interval snapshots; the golden would not cover them")
+			}
+			fp := fingerprint(t, first)
+			got[c.name] = fp
+			if *updateGolden {
+				return
+			}
+			want, ok := golden[c.name]
+			if !ok {
+				t.Fatalf("no golden fingerprint for %q (regenerate with -update-golden)", c.name)
+			}
+			if fp != want {
+				t.Errorf("fingerprint mismatch: got %s want %s\nthe engine no longer produces byte-identical results for this scenario", fp, want)
+			}
+		})
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+	}
+}

@@ -53,6 +53,108 @@ type mshr struct {
 	merged int // accesses waiting on this fill, beyond the first
 }
 
+// mshrIndex is an open-addressed hash table mapping in-flight miss line
+// addresses to MSHR slots. Capacity is fixed at construction (at least twice
+// the MSHR count, so load factor stays below 1/2) and collisions are resolved
+// by linear probing with backward-shift deletion — no tombstones, so probe
+// chains never degrade no matter how many fills complete. It replaces both
+// the per-miss linear scan over every MSHR and the per-line map the callers
+// used for wake lists.
+type mshrIndex struct {
+	keys  []uint64
+	slots []int32 // MSHR slot, or -1 for an empty table entry
+	mask  uint64
+	shift uint
+}
+
+func newMSHRIndex(entries int) mshrIndex {
+	size := 8
+	for size < 2*entries {
+		size <<= 1
+	}
+	ix := mshrIndex{
+		keys:  make([]uint64, size),
+		slots: make([]int32, size),
+		mask:  uint64(size - 1),
+	}
+	for s := size; s > 1; s >>= 1 {
+		ix.shift++
+	}
+	ix.shift = 64 - ix.shift
+	for i := range ix.slots {
+		ix.slots[i] = -1
+	}
+	return ix
+}
+
+// home is the preferred table position for an address (Fibonacci hashing:
+// line addresses are highly regular, the multiply spreads them).
+func (ix *mshrIndex) home(addr uint64) uint64 {
+	return (addr * 0x9e3779b97f4a7c15) >> ix.shift
+}
+
+// get returns the MSHR slot registered for addr, or -1.
+func (ix *mshrIndex) get(addr uint64) int32 {
+	i := ix.home(addr)
+	for ix.slots[i] >= 0 {
+		if ix.keys[i] == addr {
+			return ix.slots[i]
+		}
+		i = (i + 1) & ix.mask
+	}
+	return -1
+}
+
+// put registers addr -> slot. addr must not already be present, and the
+// caller guarantees fewer live entries than MSHRs, so a free cell exists.
+func (ix *mshrIndex) put(addr uint64, slot int32) {
+	i := ix.home(addr)
+	for ix.slots[i] >= 0 {
+		i = (i + 1) & ix.mask
+	}
+	ix.keys[i] = addr
+	ix.slots[i] = slot
+}
+
+// del removes addr, closing the probe-chain gap by shifting later entries
+// back so lookups never need tombstones.
+func (ix *mshrIndex) del(addr uint64) {
+	i := ix.home(addr)
+	for {
+		if ix.slots[i] < 0 {
+			return // not present
+		}
+		if ix.keys[i] == addr {
+			break
+		}
+		i = (i + 1) & ix.mask
+	}
+	j := i
+	for {
+		j = (j + 1) & ix.mask
+		if ix.slots[j] < 0 {
+			break
+		}
+		h := ix.home(ix.keys[j])
+		// Entry j may fill the hole at i only if its home position is not
+		// cyclically inside (i, j] — otherwise moving it would break the
+		// probe chain that leads to it.
+		if (j > i && (h <= i || h > j)) || (j < i && (h <= i && h > j)) {
+			ix.keys[i] = ix.keys[j]
+			ix.slots[i] = ix.slots[j]
+			i = j
+		}
+	}
+	ix.slots[i] = -1
+}
+
+// reset empties the table.
+func (ix *mshrIndex) reset() {
+	for i := range ix.slots {
+		ix.slots[i] = -1
+	}
+}
+
 // Stats aggregates cache activity. Counters are cumulative; callers snapshot
 // and subtract for per-interval numbers.
 type Stats struct {
@@ -73,6 +175,8 @@ type Cache struct {
 	sets  int
 	lines []line // sets*assoc, row-major by set
 	mshrs []mshr
+	index mshrIndex // in-flight miss address -> MSHR slot
+	free  []int32   // free MSHR slots (LIFO)
 	stamp uint64
 
 	// Stats is indexed by app; index len-1 aggregates all apps when the
@@ -88,9 +192,21 @@ func NewCache(cfg config.CacheConfig, numApps int) *Cache {
 		sets:  cfg.Sets(),
 		lines: make([]line, cfg.Sets()*cfg.Assoc),
 		mshrs: make([]mshr, cfg.MSHRs),
+		index: newMSHRIndex(cfg.MSHRs),
+		free:  make([]int32, 0, cfg.MSHRs),
 		stats: make([]Stats, numApps),
 	}
+	c.resetFreeSlots()
 	return c
+}
+
+// resetFreeSlots rebuilds the free stack so slots are handed out in
+// ascending order from an empty cache (pop from the top of the stack).
+func (c *Cache) resetFreeSlots() {
+	c.free = c.free[:0]
+	for i := c.cfg.MSHRs - 1; i >= 0; i-- {
+		c.free = append(c.free, int32(i))
+	}
 }
 
 // Sets returns the number of cache sets.
@@ -116,6 +232,15 @@ func (c *Cache) Access(app memreq.AppID, set int, addr uint64) AccessResult {
 // AccessRW is Access with a store flag: when the cache is configured for
 // writeback, a store hit marks the line dirty.
 func (c *Cache) AccessRW(app memreq.AppID, set int, addr uint64, write bool) AccessResult {
+	res, _ := c.AccessIdx(app, set, addr, write)
+	return res
+}
+
+// AccessIdx is AccessRW that additionally returns the MSHR slot involved: the
+// allocated slot on Miss, the merged-onto slot on MergedMiss, and -1 for Hit
+// and Blocked. Callers use the slot to index their own waiter lists, which is
+// what makes the miss path map-free.
+func (c *Cache) AccessIdx(app memreq.AppID, set int, addr uint64, write bool) (AccessResult, int) {
 	c.stamp++
 	tag := addr
 	st := &c.stats[app]
@@ -128,35 +253,33 @@ func (c *Cache) AccessRW(app memreq.AppID, set int, addr uint64, write bool) Acc
 				ways[i].dirty = true
 			}
 			st.Hits++
-			return Hit
+			return Hit, -1
 		}
 	}
-	// Miss path: find or allocate an MSHR.
-	var free *mshr
-	for i := range c.mshrs {
-		m := &c.mshrs[i]
-		if m.valid && m.tag == tag {
-			if m.merged >= c.cfg.MSHRMerge {
-				st.Blockings++
-				return Blocked
-			}
-			m.merged++
-			st.Merged++
-			return MergedMiss
+	// Miss path: find or allocate an MSHR through the open-addressed index.
+	if slot := c.index.get(tag); slot >= 0 {
+		m := &c.mshrs[slot]
+		if m.merged >= c.cfg.MSHRMerge {
+			st.Blockings++
+			return Blocked, -1
 		}
-		if !m.valid && free == nil {
-			free = m
-		}
+		m.merged++
+		st.Merged++
+		return MergedMiss, int(slot)
 	}
-	if free == nil {
+	if len(c.free) == 0 {
 		st.Blockings++
-		return Blocked
+		return Blocked, -1
 	}
-	free.valid = true
-	free.tag = tag
-	free.merged = 0
+	slot := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	m := &c.mshrs[slot]
+	m.valid = true
+	m.tag = tag
+	m.merged = 0
+	c.index.put(tag, slot)
 	st.Misses++
-	return Miss
+	return Miss, int(slot)
 }
 
 // Probe reports whether the line is present without updating LRU or stats.
@@ -184,15 +307,24 @@ func (c *Cache) Fill(app memreq.AppID, set int, addr uint64) (merged int, evicte
 // dirty line is evicted, wb carries its address and wb.Valid is true — the
 // caller must emit the write-back transaction downstream.
 func (c *Cache) FillRW(app memreq.AppID, set int, addr uint64, write bool) (merged int, evicted memreq.AppID, wb Writeback) {
+	merged, evicted, wb, _ = c.FillIdx(app, set, addr, write)
+	return merged, evicted, wb
+}
+
+// FillIdx is FillRW that additionally returns the MSHR slot the fill freed
+// (-1 when no MSHR was registered for the address), so callers can drain and
+// recycle the waiter list they indexed by that slot.
+func (c *Cache) FillIdx(app memreq.AppID, set int, addr uint64, write bool) (merged int, evicted memreq.AppID, wb Writeback, slot int) {
 	c.stamp++
 	tag := addr
-	for i := range c.mshrs {
-		m := &c.mshrs[i]
-		if m.valid && m.tag == tag {
-			merged = m.merged
-			m.valid = false
-			break
-		}
+	slot = -1
+	if s := c.index.get(tag); s >= 0 {
+		m := &c.mshrs[s]
+		merged = m.merged
+		m.valid = false
+		c.index.del(tag)
+		c.free = append(c.free, s)
+		slot = int(s)
 	}
 	evicted = memreq.InvalidApp
 	ways := c.setSlice(set)
@@ -223,7 +355,7 @@ func (c *Cache) FillRW(app memreq.AppID, set int, addr uint64, write bool) (merg
 	v.owner = app
 	v.lru = c.stamp
 	v.dirty = write && c.cfg.Writeback
-	return merged, evicted, wb
+	return merged, evicted, wb, slot
 }
 
 // Writeback describes a dirty line evicted by a Fill.
@@ -233,16 +365,13 @@ type Writeback struct {
 	Owner memreq.AppID
 }
 
+// MSHRSlot returns the MSHR slot tracking an in-flight miss of addr, or -1.
+// Callers that keep per-slot waiter state use it to inspect the waiters
+// before a Fill retires the slot.
+func (c *Cache) MSHRSlot(addr uint64) int { return int(c.index.get(addr)) }
+
 // MSHRsInUse reports how many MSHRs are currently allocated.
-func (c *Cache) MSHRsInUse() int {
-	n := 0
-	for i := range c.mshrs {
-		if c.mshrs[i].valid {
-			n++
-		}
-	}
-	return n
-}
+func (c *Cache) MSHRsInUse() int { return c.cfg.MSHRs - len(c.free) }
 
 // Reset invalidates all lines, MSHRs and statistics.
 func (c *Cache) Reset() {
@@ -252,6 +381,8 @@ func (c *Cache) Reset() {
 	for i := range c.mshrs {
 		c.mshrs[i] = mshr{}
 	}
+	c.index.reset()
+	c.resetFreeSlots()
 	for i := range c.stats {
 		c.stats[i] = Stats{}
 	}

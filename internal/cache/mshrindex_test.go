@@ -1,0 +1,87 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMSHRIndexChurn hammers the open-addressed index with a seeded
+// insert/delete/lookup churn, mirroring every operation into a Go map and
+// requiring identical answers. Backward-shift deletion is the part worth
+// distrusting: a broken shift silently orphans entries whose probe chain
+// passed through the deleted cell.
+func TestMSHRIndexChurn(t *testing.T) {
+	const entries = 192 // the default L2 slice's MSHR count
+	ix := newMSHRIndex(entries)
+	ref := map[uint64]int32{}
+	rng := rand.New(rand.NewSource(42))
+
+	// Line-aligned addresses drawn from a small pool force heavy collision
+	// and re-insertion of previously deleted keys.
+	addrPool := make([]uint64, 512)
+	for i := range addrPool {
+		addrPool[i] = uint64(rng.Intn(1<<20)) << 7
+	}
+
+	for step := 0; step < 200_000; step++ {
+		addr := addrPool[rng.Intn(len(addrPool))]
+		switch {
+		case rng.Intn(3) != 0 && len(ref) < entries:
+			if _, ok := ref[addr]; !ok {
+				slot := int32(len(ref))
+				ix.put(addr, slot)
+				ref[addr] = slot
+			}
+		default:
+			if _, ok := ref[addr]; ok {
+				ix.del(addr)
+				delete(ref, addr)
+			}
+		}
+		// Spot-check a few keys per step (every key every step is O(n^2)).
+		for k := 0; k < 4; k++ {
+			probe := addrPool[rng.Intn(len(addrPool))]
+			want, ok := ref[probe]
+			got := ix.get(probe)
+			if !ok && got != -1 {
+				t.Fatalf("step %d: get(%#x) = %d, want absent", step, probe, got)
+			}
+			if ok && got != want {
+				t.Fatalf("step %d: get(%#x) = %d, want %d", step, probe, got, want)
+			}
+		}
+	}
+
+	// Final full verification.
+	for addr, want := range ref {
+		if got := ix.get(addr); got != want {
+			t.Fatalf("final: get(%#x) = %d, want %d", addr, got, want)
+		}
+	}
+}
+
+// TestMSHRIndexFullCapacity fills the index to its entry bound, deletes
+// everything, and refills — probing must still terminate and find all keys.
+func TestMSHRIndexFullCapacity(t *testing.T) {
+	const entries = 32
+	ix := newMSHRIndex(entries)
+	for round := 0; round < 3; round++ {
+		base := uint64(round+1) << 30
+		for i := 0; i < entries; i++ {
+			ix.put(base+uint64(i)*128, int32(i))
+		}
+		for i := 0; i < entries; i++ {
+			if got := ix.get(base + uint64(i)*128); got != int32(i) {
+				t.Fatalf("round %d: get(entry %d) = %d", round, i, got)
+			}
+		}
+		for i := 0; i < entries; i++ {
+			ix.del(base + uint64(i)*128)
+		}
+		for i := 0; i < entries; i++ {
+			if got := ix.get(base + uint64(i)*128); got != -1 {
+				t.Fatalf("round %d: entry %d survived deletion (slot %d)", round, i, got)
+			}
+		}
+	}
+}

@@ -12,6 +12,8 @@
 package dram
 
 import (
+	"math/bits"
+
 	"dasesim/internal/config"
 	"dasesim/internal/memreq"
 )
@@ -122,6 +124,11 @@ type Controller struct {
 	queued int                 // total buffered requests
 	seq    uint64              // enqueue sequence for FCFS ordering
 
+	// queuedPerBank[app*NumBanks+bank] counts the app's buffered requests
+	// per bank, maintained incrementally so BLP sampling never rescans the
+	// queues.
+	queuedPerBank []int32
+
 	// lastRow[app*NumBanks+bank] is the app's last accessed row in bank
 	// (the last-access-row registers of Table I).
 	lastRow      []uint64
@@ -156,18 +163,19 @@ type Controller struct {
 // NewController builds a controller for partition id serving numApps apps.
 func NewController(cfg config.MemConfig, amap memreq.AddrMap, id, numApps int) *Controller {
 	return &Controller{
-		cfg:          cfg,
-		amap:         amap,
-		id:           id,
-		numApps:      numApps,
-		banks:        make([]bank, cfg.NumBanks),
-		queues:       make([][]*memreq.Request, cfg.NumBanks),
-		lastRow:      make([]uint64, numApps*cfg.NumBanks),
-		lastRowValid: make([]bool, numApps*cfg.NumBanks),
-		outstanding:  make([]int, numApps),
-		prio:         memreq.InvalidApp,
-		apps:         make([]AppCounters, numApps),
-		nextRefresh:  cfg.TREFI,
+		cfg:           cfg,
+		amap:          amap,
+		id:            id,
+		numApps:       numApps,
+		banks:         make([]bank, cfg.NumBanks),
+		queues:        make([][]*memreq.Request, cfg.NumBanks),
+		queuedPerBank: make([]int32, numApps*cfg.NumBanks),
+		lastRow:       make([]uint64, numApps*cfg.NumBanks),
+		lastRowValid:  make([]bool, numApps*cfg.NumBanks),
+		outstanding:   make([]int, numApps),
+		prio:          memreq.InvalidApp,
+		apps:          make([]AppCounters, numApps),
+		nextRefresh:   cfg.TREFI,
 	}
 }
 
@@ -181,8 +189,13 @@ func (c *Controller) Enqueue(r *memreq.Request) {
 	b := c.amap.Bank(r.Addr)
 	c.seq++
 	r.BankEnter = c.seq
+	// Cache the row address once: the FR-FCFS scheduler compares it against
+	// open rows for every queued candidate every cycle, and AddrMap.Row's
+	// divisions dominated the controller's profile when recomputed there.
+	r.Row = c.amap.Row(r.Addr)
 	c.queues[b] = append(c.queues[b], r)
 	c.queued++
+	c.queuedPerBank[int(r.App)*c.cfg.NumBanks+b]++
 	c.outstanding[r.App]++
 	c.apps[r.App].Enqueued++
 }
@@ -326,6 +339,9 @@ const rowHitLookahead = 8
 // pickRequest selects the (bank, queue index) of the request to schedule,
 // or (-1, -1), according to the active scheduling policy.
 func (c *Controller) pickRequest(now uint64) (int, int) {
+	if c.queued == 0 {
+		return -1, -1
+	}
 	if !c.cfg.AppAwareRR || c.numApps <= 1 {
 		return c.pickFRFCFS(now, memreq.InvalidApp)
 	}
@@ -368,7 +384,7 @@ func (c *Controller) pickFRFCFS(now uint64, only memreq.AppID) (int, int) {
 		if c.prio != memreq.InvalidApp && (only == memreq.InvalidApp || only == c.prio) {
 			for k := 0; k < len(q) && k < rowHitLookahead; k++ {
 				if q[k].App == c.prio {
-					h := bnk.rowOpen && c.amap.Row(q[k].Addr) == bnk.openRow
+					h := bnk.rowOpen && q[k].Row == bnk.openRow
 					if !h && !actOK {
 						break
 					}
@@ -383,7 +399,7 @@ func (c *Controller) pickFRFCFS(now uint64, only memreq.AppID) (int, int) {
 				if only != memreq.InvalidApp && q[k].App != only {
 					continue
 				}
-				if c.amap.Row(q[k].Addr) == row {
+				if q[k].Row == row {
 					idx, hit = k, true
 					break
 				}
@@ -427,8 +443,9 @@ func (c *Controller) schedule(bi, idx int, now uint64) {
 	r := q[idx]
 	c.queues[bi] = append(q[:idx], q[idx+1:]...)
 	c.queued--
+	c.queuedPerBank[int(r.App)*c.cfg.NumBanks+bi]--
 
-	row := c.amap.Row(r.Addr)
+	row := r.Row
 	b := &c.banks[bi]
 
 	// Row-buffer outcome and command latency.
@@ -479,11 +496,10 @@ func (c *Controller) schedule(bi, idx int, now uint64) {
 // sampleBLP takes one bank-level-parallelism sample for every app with
 // outstanding work.
 func (c *Controller) sampleBLP() {
-	// execCount[app] = banks executing app's request; targetMask = banks
-	// the app is executing on or queued for; queuedMask = banks the app is
-	// queued for; busyOther = banks occupied by someone.
+	// execCount[app] = banks executing app's request; busyMask = banks the
+	// app is executing on; the queued-bank masks come from the incremental
+	// queuedPerBank counts, so no queue is rescanned.
 	var execCount [16]int // supports up to 16 apps without allocation
-	var targetMask, queuedMask [16]uint64
 	var busyMask [16]uint64
 	nApps := c.numApps
 	if nApps > len(execCount) {
@@ -493,39 +509,29 @@ func (c *Controller) sampleBLP() {
 	for i := range c.banks {
 		if r := c.banks[i].cur; r != nil && int(r.App) < nApps {
 			execCount[r.App]++
-			targetMask[r.App] |= 1 << uint(i)
 			busyMask[r.App] |= 1 << uint(i)
 			anyBusy |= 1 << uint(i)
-		}
-	}
-	for bi := range c.queues {
-		b := uint64(1) << uint(bi)
-		for _, r := range c.queues[bi] {
-			if int(r.App) < nApps {
-				targetMask[r.App] |= b
-				queuedMask[r.App] |= b
-			}
 		}
 	}
 	for a := 0; a < nApps; a++ {
 		if c.outstanding[a] == 0 {
 			continue
 		}
+		var queuedMask uint64
+		base := a * c.cfg.NumBanks
+		for bi := 0; bi < c.cfg.NumBanks; bi++ {
+			if c.queuedPerBank[base+bi] > 0 {
+				queuedMask |= 1 << uint(bi)
+			}
+		}
 		ac := &c.apps[a]
 		ac.BLPSamples++
 		ac.BLPAccessSum += uint64(execCount[a])
-		ac.BLPSum += uint64(popcount(targetMask[a]))
+		ac.BLPSum += uint64(popcount(busyMask[a] | queuedMask))
 		// Banks the app waits on that are busy with someone else's work.
-		blockedByOther := queuedMask[a] & anyBusy &^ busyMask[a]
+		blockedByOther := queuedMask & anyBusy &^ busyMask[a]
 		ac.BLPBlockedSum += uint64(popcount(blockedByOther))
 	}
 }
 
-func popcount(v uint64) int {
-	n := 0
-	for v != 0 {
-		v &= v - 1
-		n++
-	}
-	return n
-}
+func popcount(v uint64) int { return bits.OnesCount64(v) }

@@ -8,6 +8,7 @@ package icnt
 import (
 	"dasesim/internal/config"
 	"dasesim/internal/memreq"
+	"dasesim/internal/ring"
 )
 
 type entry struct {
@@ -15,49 +16,42 @@ type entry struct {
 	arrives uint64
 }
 
-// fifo is a bounded queue of in-flight packets ordered by send time.
+// fifo is a bounded queue of in-flight packets ordered by send time, backed
+// by a ring sized to the configured depth so steady-state traffic never
+// reallocates or compacts.
 type fifo struct {
-	items []entry
-	head  int
+	q     *ring.Buffer[entry]
 	depth int
 }
 
 func newFifo(depth int) fifo {
-	return fifo{items: make([]entry, 0, depth), depth: depth}
+	return fifo{q: ring.New[entry](depth), depth: depth}
 }
 
-func (f *fifo) len() int { return len(f.items) - f.head }
+func (f *fifo) len() int { return f.q.Len() }
 
-func (f *fifo) full() bool { return f.len() >= f.depth }
+func (f *fifo) full() bool { return f.q.Len() >= f.depth }
 
 func (f *fifo) push(r *memreq.Request, arrives uint64) {
-	if f.head > 0 && f.head == len(f.items) {
-		f.items = f.items[:0]
-		f.head = 0
-	}
-	f.items = append(f.items, entry{r, arrives})
+	f.q.PushBack(entry{r, arrives})
 }
 
 // pop returns the head packet if it has arrived by now.
 func (f *fifo) pop(now uint64) *memreq.Request {
-	if f.head >= len(f.items) {
+	if f.q.Empty() {
 		return nil
 	}
-	e := f.items[f.head]
+	e := f.q.Front()
 	if e.arrives > now {
 		return nil
 	}
-	f.head++
-	if f.head == len(f.items) {
-		f.items = f.items[:0]
-		f.head = 0
-	}
+	f.q.PopFront()
 	return e.req
 }
 
 // peek reports whether a packet is available at now without removing it.
 func (f *fifo) peek(now uint64) bool {
-	return f.head < len(f.items) && f.items[f.head].arrives <= now
+	return !f.q.Empty() && f.q.Front().arrives <= now
 }
 
 // ICNT is the two-direction crossbar.
@@ -141,3 +135,8 @@ func (ic *ICNT) SendToSM(part int, r *memreq.Request, now uint64) {
 func (ic *ICNT) RecvAtSM(sm int, now uint64) *memreq.Request {
 	return ic.toSM[sm].pop(now)
 }
+
+// InFlightToSM returns how many reply packets are buffered toward the SM
+// (arrived or still traversing). The simulator uses it to skip the receive
+// scan for idle ports.
+func (ic *ICNT) InFlightToSM(sm int) int { return ic.toSM[sm].len() }

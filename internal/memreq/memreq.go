@@ -46,6 +46,11 @@ type Request struct {
 	// BankEnter is the cycle the request was scheduled into a DRAM bank;
 	// used to account per-request bank occupancy (TimeRequest counter).
 	BankEnter uint64
+
+	// Row caches AddrMap.Row(Addr), filled by the DRAM controller at
+	// enqueue so the FR-FCFS scheduler's per-cycle queue scans compare a
+	// field instead of redoing the row-address division.
+	Row uint64
 }
 
 func (r *Request) String() string {

@@ -1,0 +1,46 @@
+package memreq
+
+// Pool is a free-list recycler for Requests. The cycle engine allocates one
+// Request per memory access on its hot path; recycling them once their reply
+// is delivered (or their write completes) makes the steady-state inner loop
+// allocation-free.
+//
+// The pool is deliberately not concurrency-safe: a GPU simulation is
+// single-goroutine, and one pool is shared by all SMs and partitions of one
+// GPU. Requests handed out by Get are fully zeroed, so pooling cannot leak
+// state (L2Miss, BankEnter, Row, ...) between the transactions that reuse a
+// slot — a hard requirement for the engine's byte-identical determinism
+// contract.
+type Pool struct {
+	free []*Request
+}
+
+// poolChunk is how many Requests a dry pool allocates at once. Chunked
+// backing arrays keep recycled requests contiguous in memory (cache-friendly)
+// and amortise allocator round-trips during warm-up.
+const poolChunk = 64
+
+// Get returns a zeroed Request, reusing a recycled one when available.
+func (p *Pool) Get() *Request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return r
+	}
+	chunk := make([]Request, poolChunk)
+	for i := 1; i < poolChunk; i++ {
+		p.free = append(p.free, &chunk[i])
+	}
+	return &chunk[0]
+}
+
+// Put recycles a Request. The caller must not retain the pointer; the request
+// is zeroed immediately so stale fields cannot survive into its next use.
+func (p *Pool) Put(r *Request) {
+	*r = Request{}
+	p.free = append(p.free, r)
+}
+
+// Len reports how many recycled requests are currently free (test hook).
+func (p *Pool) Len() int { return len(p.free) }

@@ -1,0 +1,118 @@
+// Package ring provides the power-of-two ring buffer used on the cycle
+// engine's hot paths: SM outboxes and runnable queues, partition reply
+// queues, and the interconnect's per-port FIFOs. Compared with the
+// slice-shift queues it replaces (copy(q, q[1:]) per pop, append(q[:i],
+// q[i+1:]...) per mid-delete), every operation is O(1) — except the bounded
+// prefix shift of RemoveAt — and the backing array is reused forever, so
+// steady-state queue traffic allocates nothing.
+package ring
+
+// Buffer is a FIFO ring. The zero value is not usable; construct with New.
+// Buffers grow by doubling when full, so Push never fails; sizing the initial
+// capacity to the queue's structural bound makes growth a cold-path event
+// that at most happens during warm-up.
+type Buffer[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// New returns a ring with capacity rounded up to a power of two (minimum 8).
+func New[T any](capacity int) *Buffer[T] {
+	size := 8
+	for size < capacity {
+		size <<= 1
+	}
+	return &Buffer[T]{buf: make([]T, size)}
+}
+
+// Len returns the number of buffered elements.
+func (b *Buffer[T]) Len() int { return b.n }
+
+// Empty reports whether the buffer holds no elements.
+func (b *Buffer[T]) Empty() bool { return b.n == 0 }
+
+// PushBack appends v at the tail, growing the backing array if needed.
+func (b *Buffer[T]) PushBack(v T) {
+	if b.n == len(b.buf) {
+		b.grow()
+	}
+	b.buf[(b.head+b.n)&(len(b.buf)-1)] = v
+	b.n++
+}
+
+// PopFront removes and returns the head element. The vacated slot is zeroed
+// so the ring never retains pointers to recycled objects.
+func (b *Buffer[T]) PopFront() T {
+	if b.n == 0 {
+		panic("ring: PopFront on empty buffer")
+	}
+	var zero T
+	v := b.buf[b.head]
+	b.buf[b.head] = zero
+	b.head = (b.head + 1) & (len(b.buf) - 1)
+	b.n--
+	return v
+}
+
+// Front returns the head element without removing it.
+func (b *Buffer[T]) Front() T {
+	if b.n == 0 {
+		panic("ring: Front on empty buffer")
+	}
+	return b.buf[b.head]
+}
+
+// At returns the i-th element from the front (0 = head).
+func (b *Buffer[T]) At(i int) T {
+	if i < 0 || i >= b.n {
+		panic("ring: At out of range")
+	}
+	return b.buf[(b.head+i)&(len(b.buf)-1)]
+}
+
+// RemoveAt removes and returns the i-th element from the front, preserving
+// the relative order of the remaining elements. It shifts the i elements in
+// front of it one slot toward the tail and advances the head, so the cost is
+// O(i) — callers remove near the head (the engine's reply picker looks at
+// most 4 deep).
+func (b *Buffer[T]) RemoveAt(i int) T {
+	if i < 0 || i >= b.n {
+		panic("ring: RemoveAt out of range")
+	}
+	mask := len(b.buf) - 1
+	pos := (b.head + i) & mask
+	v := b.buf[pos]
+	for j := i; j > 0; j-- {
+		dst := (b.head + j) & mask
+		src := (b.head + j - 1) & mask
+		b.buf[dst] = b.buf[src]
+	}
+	var zero T
+	b.buf[b.head] = zero
+	b.head = (b.head + 1) & mask
+	b.n--
+	return v
+}
+
+// Reset discards all elements, zeroing the occupied slots.
+func (b *Buffer[T]) Reset() {
+	var zero T
+	mask := len(b.buf) - 1
+	for i := 0; i < b.n; i++ {
+		b.buf[(b.head+i)&mask] = zero
+	}
+	b.head = 0
+	b.n = 0
+}
+
+// grow doubles the backing array, linearising the elements at offset 0.
+func (b *Buffer[T]) grow() {
+	nbuf := make([]T, 2*len(b.buf))
+	mask := len(b.buf) - 1
+	for i := 0; i < b.n; i++ {
+		nbuf[i] = b.buf[(b.head+i)&mask]
+	}
+	b.buf = nbuf
+	b.head = 0
+}

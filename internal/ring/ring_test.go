@@ -1,0 +1,86 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBufferAgainstSlice mirrors a seeded churn of every operation into a
+// plain slice, requiring identical observable state throughout — including
+// across growth and wrap-around.
+func TestBufferAgainstSlice(t *testing.T) {
+	b := New[int](4) // deliberately small so growth happens often
+	var ref []int
+	rng := rand.New(rand.NewSource(7))
+	next := 0
+
+	for step := 0; step < 100_000; step++ {
+		switch op := rng.Intn(5); {
+		case op <= 1: // push
+			b.PushBack(next)
+			ref = append(ref, next)
+			next++
+		case op == 2 && len(ref) > 0: // pop
+			got, want := b.PopFront(), ref[0]
+			ref = ref[1:]
+			if got != want {
+				t.Fatalf("step %d: PopFront = %d, want %d", step, got, want)
+			}
+		case op == 3 && len(ref) > 0: // remove near head
+			i := rng.Intn(min(4, len(ref)))
+			got, want := b.RemoveAt(i), ref[i]
+			ref = append(ref[:i], ref[i+1:]...)
+			if got != want {
+				t.Fatalf("step %d: RemoveAt(%d) = %d, want %d", step, i, got, want)
+			}
+		case op == 4 && len(ref) > 0: // random read
+			i := rng.Intn(len(ref))
+			if got := b.At(i); got != ref[i] {
+				t.Fatalf("step %d: At(%d) = %d, want %d", step, i, got, ref[i])
+			}
+		}
+		if b.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, b.Len(), len(ref))
+		}
+		if len(ref) > 0 && b.Front() != ref[0] {
+			t.Fatalf("step %d: Front = %d, want %d", step, b.Front(), ref[0])
+		}
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	b := New[*int](8)
+	x := 1
+	for i := 0; i < 5; i++ {
+		b.PushBack(&x)
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", b.Len())
+	}
+	// All slots must have been zeroed (no retained pointers).
+	for i := range b.buf {
+		if b.buf[i] != nil {
+			t.Fatalf("slot %d retains a pointer after Reset", i)
+		}
+	}
+}
+
+func TestBufferMinCapacity(t *testing.T) {
+	b := New[int](0)
+	for i := 0; i < 100; i++ {
+		b.PushBack(i)
+	}
+	for i := 0; i < 100; i++ {
+		if got := b.PopFront(); got != i {
+			t.Fatalf("PopFront = %d, want %d", got, i)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -213,7 +213,8 @@ func (s *Server) execute(ctx context.Context, p plan) (*JobResult, bool, error) 
 		for i, prof := range p.profiles {
 			aloneKey := workload.AloneKey(s.opts.Cfg, prof, p.cycles, p.seed)
 			alone, _, err := s.cachedSim(ctx, aloneKey, func(ctx context.Context) (*sim.Result, error) {
-				return sim.RunAloneContext(ctx, s.opts.Cfg, prof, p.cycles, p.seed)
+				return sim.RunAloneContext(ctx, s.opts.Cfg, prof, p.cycles, p.seed,
+					sim.WithSnapshotRetention(s.opts.SnapshotRetention))
 			})
 			if err != nil {
 				return nil, false, fmt.Errorf("alone baseline %s: %w", prof.Abbr, err)
@@ -242,17 +243,20 @@ func (s *Server) cachedSim(ctx context.Context, key string, run func(context.Con
 	return res, !simulated, err
 }
 
-// runSim dispatches the plan to the right simulation entry point.
+// runSim dispatches the plan to the right simulation entry point. Every
+// entry point gets the server's snapshot-retention cap so unbounded-length
+// jobs cannot grow a result's snapshot slice without limit.
 func (s *Server) runSim(ctx context.Context, p plan) (*sim.Result, error) {
+	ret := sim.WithSnapshotRetention(s.opts.SnapshotRetention)
 	if p.mode == "alone" {
-		return sim.RunAloneContext(ctx, s.opts.Cfg, p.profiles[0], p.cycles, p.seed)
+		return sim.RunAloneContext(ctx, s.opts.Cfg, p.profiles[0], p.cycles, p.seed, ret)
 	}
 	switch p.policy {
 	case "fair":
-		return sched.RunContext(ctx, s.opts.Cfg, p.profiles, p.alloc, p.cycles, p.seed, sched.NewDASEFair())
+		return sched.RunContext(ctx, s.opts.Cfg, p.profiles, p.alloc, p.cycles, p.seed, sched.NewDASEFair(), ret)
 	case "perf":
-		return sched.RunContext(ctx, s.opts.Cfg, p.profiles, p.alloc, p.cycles, p.seed, sched.NewDASEPerf())
+		return sched.RunContext(ctx, s.opts.Cfg, p.profiles, p.alloc, p.cycles, p.seed, sched.NewDASEPerf(), ret)
 	default:
-		return sim.RunSharedContext(ctx, s.opts.Cfg, p.profiles, p.alloc, p.cycles, p.seed)
+		return sim.RunSharedContext(ctx, s.opts.Cfg, p.profiles, p.alloc, p.cycles, p.seed, ret)
 	}
 }

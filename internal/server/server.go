@@ -86,6 +86,11 @@ type Options struct {
 	// LongPollMax clamps the wait_ms parameter of GET /v1/jobs/{id}
 	// (default: 60s).
 	LongPollMax time.Duration
+	// SnapshotRetention caps how many interval snapshots each simulation
+	// keeps (default: 4096, comfortably above MaxCycles/IntervalCycles at
+	// the defaults so results are normally untruncated; negative disables
+	// the cap). Whole-run aggregates are exact regardless.
+	SnapshotRetention int
 	// Logger receives request and job logs (default: log.Default()). Use
 	// log.New(io.Discard, "", 0) to silence.
 	Logger *log.Logger
@@ -140,6 +145,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.LongPollMax <= 0 {
 		o.LongPollMax = 60 * time.Second
+	}
+	switch {
+	case o.SnapshotRetention == 0:
+		o.SnapshotRetention = 4096
+	case o.SnapshotRetention < 0:
+		o.SnapshotRetention = 0 // unlimited
 	}
 	if o.Logger == nil {
 		o.Logger = log.Default()

@@ -27,6 +27,7 @@ type GPU struct {
 	sms   []*smcore.SM
 	parts []*partition
 	ic    *icnt.ICNT
+	pool  *memreq.Pool // request recycler shared by SMs and partitions
 
 	cycle uint64
 
@@ -53,6 +54,20 @@ type GPU struct {
 	IntervalHook func(g *GPU, snap *IntervalSnapshot)
 
 	snapshots []IntervalSnapshot
+
+	// snapRetention caps len(snapshots); 0 means unlimited. When the cap is
+	// hit the oldest snapshot's run-total counters are folded into evicted
+	// before it is dropped, so FinishRun's aggregates stay exact.
+	snapRetention int
+	evicted       snapshotAgg
+}
+
+// snapshotAgg accumulates the run-total counters of snapshots evicted under
+// a retention cap.
+type snapshotAgg struct {
+	busCycles, busWasted, busIdle uint64
+	served, data                  []uint64
+	rowHits, rowMisses            []uint64
 }
 
 // appWindow accumulates SM-side stats for one app over the current interval.
@@ -71,6 +86,17 @@ type Option func(*GPU)
 // that the MISE and ASM estimators require.
 func WithPriorityEpochs() Option {
 	return func(g *GPU) { g.priorityEpochs = true }
+}
+
+// WithSnapshotRetention caps how many interval snapshots the GPU keeps in
+// memory (n <= 0 means unlimited, the default). Long-running simulations
+// otherwise grow their snapshot slice without bound; with a cap, the oldest
+// snapshots are dropped after their run-total counters (bus decomposition,
+// served requests, row hits) are folded into accumulators, so FinishRun's
+// whole-run aggregates are unaffected — only Result.Snapshots is truncated
+// to the most recent n intervals.
+func WithSnapshotRetention(n int) Option {
+	return func(g *GPU) { g.snapRetention = n }
 }
 
 // New builds a GPU running the given application profiles with alloc[i] SMs
@@ -113,6 +139,7 @@ func New(cfg config.Config, profiles []kernels.Profile, alloc []int, seed uint64
 		cfg:            cfg,
 		amap:           amap,
 		ic:             icnt.New(cfg.ICNT, cfg.NumSMs, cfg.NumMCs, cfg.L2.LineBytes),
+		pool:           &memreq.Pool{},
 		desired:        make([]memreq.AppID, cfg.NumSMs),
 		window:         make([]appWindow, len(profiles)),
 		prioServedBase: make([]uint64, len(profiles)),
@@ -120,6 +147,10 @@ func New(cfg config.Config, profiles []kernels.Profile, alloc []int, seed uint64
 		prioCycles:     make([]uint64, len(profiles)),
 		curPrio:        memreq.InvalidApp,
 	}
+	g.evicted.served = make([]uint64, len(profiles))
+	g.evicted.data = make([]uint64, len(profiles))
+	g.evicted.rowHits = make([]uint64, len(profiles))
+	g.evicted.rowMisses = make([]uint64, len(profiles))
 	for _, o := range opts {
 		o(g)
 	}
@@ -129,11 +160,11 @@ func New(cfg config.Config, profiles []kernels.Profile, alloc []int, seed uint64
 		g.disps = append(g.disps, &dispatcher{app})
 	}
 	for i := 0; i < cfg.NumSMs; i++ {
-		g.sms = append(g.sms, smcore.New(i, cfg, amap))
+		g.sms = append(g.sms, smcore.New(i, cfg, amap, g.pool))
 		g.desired[i] = memreq.InvalidApp
 	}
 	for i := 0; i < cfg.NumMCs; i++ {
-		g.parts = append(g.parts, newPartition(i, cfg, amap, len(profiles)))
+		g.parts = append(g.parts, newPartition(i, cfg, amap, len(profiles), g.pool))
 	}
 	smi := 0
 	for a, n := range alloc {
@@ -337,6 +368,9 @@ func (g *GPU) step() {
 	// cycle; the crossbar's per-port serialization does fine-grained
 	// pacing).
 	for _, sm := range g.sms {
+		if sm.OutboxLen() == 0 {
+			continue
+		}
 		for k := 0; k < 2; k++ {
 			r := sm.PeekOutbox()
 			if r == nil {
@@ -375,7 +409,7 @@ func (g *GPU) step() {
 			}
 			if !g.ic.CanSendToSM(r.SM) {
 				// Put it back; try next cycle.
-				p.replies = append(p.replies, timedReq{r, now})
+				p.replies.PushBack(timedReq{r, now})
 				break
 			}
 			g.ic.SendToSM(pi, r, now)
@@ -384,6 +418,9 @@ func (g *GPU) step() {
 
 	// 4. Replies into SMs.
 	for si, sm := range g.sms {
+		if g.ic.InFlightToSM(si) == 0 {
+			continue
+		}
 		for {
 			r := g.ic.RecvAtSM(si, now)
 			if r == nil {
@@ -401,11 +438,35 @@ func (g *GPU) step() {
 	// 6. Interval boundary.
 	if g.cycle-g.intervalStart >= g.cfg.IntervalCycles {
 		snap := g.takeSnapshot()
-		g.snapshots = append(g.snapshots, *snap)
+		g.addSnapshot(snap)
 		if g.IntervalHook != nil {
 			g.IntervalHook(g, snap)
 		}
 		g.resetInterval()
+	}
+}
+
+// addSnapshot appends a snapshot, enforcing the retention cap by folding the
+// oldest snapshots' run-total counters into the evicted accumulators before
+// dropping them.
+func (g *GPU) addSnapshot(snap *IntervalSnapshot) {
+	g.snapshots = append(g.snapshots, *snap)
+	if g.snapRetention <= 0 {
+		return
+	}
+	for len(g.snapshots) > g.snapRetention {
+		s := &g.snapshots[0]
+		g.evicted.busCycles += s.BusCycles
+		g.evicted.busWasted += s.BusWasted
+		g.evicted.busIdle += s.BusIdle
+		for i := range s.Apps {
+			g.evicted.served[i] += s.Apps[i].Served
+			g.evicted.data[i] += s.Apps[i].DataCycles
+			g.evicted.rowHits[i] += s.Apps[i].RowHits
+			g.evicted.rowMisses[i] += s.Apps[i].RowMisses
+		}
+		copy(g.snapshots, g.snapshots[1:])
+		g.snapshots = g.snapshots[:len(g.snapshots)-1]
 	}
 }
 

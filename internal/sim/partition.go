@@ -5,6 +5,7 @@ import (
 	"dasesim/internal/config"
 	"dasesim/internal/dram"
 	"dasesim/internal/memreq"
+	"dasesim/internal/ring"
 )
 
 // timedReq is a request that becomes actionable at a future cycle (models
@@ -24,20 +25,25 @@ type partition struct {
 	l2   *cache.Cache
 	atds []*cache.ATD
 	mc   *dram.Controller
+	pool *memreq.Pool // shared per-GPU request recycler
 
-	// wakeLists maps in-flight L2 miss lines to the requests merged on
-	// them (the first entry is the one forwarded to DRAM).
-	wakeLists map[uint64][]*memreq.Request
+	// waiters[slot] lists the requests merged on the in-flight L2 miss
+	// tracked by MSHR slot (the first entry is the one forwarded to DRAM).
+	// Slot numbers come from the L2's AccessIdx/FillIdx.
+	waiters [][]*memreq.Request
 
-	toMC    []*memreq.Request // L2 misses awaiting controller space
-	replies []timedReq        // read replies awaiting interconnect space
-	replay  *memreq.Request   // request that found the L2 MSHRs full
+	toMC    []*memreq.Request      // L2 misses awaiting controller space
+	replies *ring.Buffer[timedReq] // read replies awaiting interconnect space
+	replay  *memreq.Request        // request that found the L2 MSHRs full
 
 	// l2AccessesPerCycle limits slice throughput.
 	l2PerCycle int
 }
 
-func newPartition(id int, cfg config.Config, amap memreq.AddrMap, numApps int) *partition {
+func newPartition(id int, cfg config.Config, amap memreq.AddrMap, numApps int, pool *memreq.Pool) *partition {
+	if pool == nil {
+		pool = &memreq.Pool{}
+	}
 	p := &partition{
 		id:         id,
 		cfg:        cfg,
@@ -45,8 +51,13 @@ func newPartition(id int, cfg config.Config, amap memreq.AddrMap, numApps int) *
 		l2:         cache.NewCache(cfg.L2, numApps),
 		atds:       make([]*cache.ATD, numApps),
 		mc:         dram.NewController(cfg.Mem, amap, id, numApps),
-		wakeLists:  make(map[uint64][]*memreq.Request),
+		pool:       pool,
+		waiters:    make([][]*memreq.Request, cfg.L2.MSHRs),
+		replies:    ring.New[timedReq](64),
 		l2PerCycle: 2,
+	}
+	for i := range p.waiters {
+		p.waiters[i] = make([]*memreq.Request, 0, cfg.L2.MSHRMerge+1)
 	}
 	for i := range p.atds {
 		p.atds[i] = cache.NewATD(cfg.L2.Sets(), cfg.L2.Assoc, cfg.ATDSampledSets)
@@ -58,7 +69,7 @@ func newPartition(id int, cfg config.Config, amap memreq.AddrMap, numApps int) *
 // request could not be accepted (L2 MSHRs exhausted) and must be replayed.
 func (p *partition) access(r *memreq.Request, now uint64) bool {
 	set := p.amap.CacheSet(r.Addr, p.l2.Sets())
-	res := p.l2.AccessRW(r.App, set, r.Addr, r.Kind == memreq.Write)
+	res, slot := p.l2.AccessIdx(r.App, set, r.Addr, r.Kind == memreq.Write)
 	if res == cache.Blocked {
 		return false
 	}
@@ -67,15 +78,18 @@ func (p *partition) access(r *memreq.Request, now uint64) bool {
 	switch res {
 	case cache.Hit:
 		if r.Kind == memreq.Read {
-			p.replies = append(p.replies, timedReq{r, now + p.cfg.L2.HitLatency})
+			p.replies.PushBack(timedReq{r, now + p.cfg.L2.HitLatency})
+		} else {
+			// A write hit completes here; the request is dead — recycle it.
+			p.pool.Put(r)
 		}
 	case cache.Miss:
 		r.L2Miss = true
-		p.wakeLists[r.Addr] = append(p.wakeLists[r.Addr], r)
+		p.waiters[slot] = append(p.waiters[slot][:0], r)
 		p.toMC = append(p.toMC, r)
 	case cache.MergedMiss:
 		r.L2Miss = true
-		p.wakeLists[r.Addr] = append(p.wakeLists[r.Addr], r)
+		p.waiters[slot] = append(p.waiters[slot], r)
 	}
 	return true
 }
@@ -89,30 +103,40 @@ func (p *partition) cycle(now uint64) {
 		if r.Kind == memreq.Write && r.SM < 0 {
 			// Completed write-back of an evicted dirty line: no fill, no
 			// reply — the line left the cache when it was evicted.
+			p.pool.Put(r)
 			continue
 		}
 		set := p.amap.CacheSet(r.Addr, p.l2.Sets())
-		waiters := p.wakeLists[r.Addr]
-		delete(p.wakeLists, r.Addr)
+		slot := p.l2.MSHRSlot(r.Addr)
+		var waiters []*memreq.Request
+		if slot >= 0 {
+			waiters = p.waiters[slot]
+		}
 		write := true
 		for _, w := range waiters {
 			if w.Kind == memreq.Read {
 				write = false
 			}
 		}
-		_, _, wb := p.l2.FillRW(r.App, set, r.Addr, write && len(waiters) > 0)
+		_, _, wb, _ := p.l2.FillIdx(r.App, set, r.Addr, write && len(waiters) > 0)
 		if wb.Valid {
 			// Dirty eviction: emit a write-back toward DRAM, attributed
 			// to the evicted line's owner; SM -1 marks it internal.
-			p.toMC = append(p.toMC, &memreq.Request{
-				App: wb.Owner, SM: -1, Addr: wb.Addr,
-				Kind: memreq.Write, Issued: now,
-			})
+			wbr := p.pool.Get()
+			wbr.App, wbr.SM, wbr.Addr = wb.Owner, -1, wb.Addr
+			wbr.Kind, wbr.Issued = memreq.Write, now
+			p.toMC = append(p.toMC, wbr)
 		}
 		for _, w := range waiters {
 			if w.Kind == memreq.Read {
-				p.replies = append(p.replies, timedReq{w, now + p.cfg.L2.HitLatency})
+				p.replies.PushBack(timedReq{w, now + p.cfg.L2.HitLatency})
+			} else {
+				// A write waiter completes with the fill; recycle it.
+				p.pool.Put(w)
 			}
+		}
+		if slot >= 0 {
+			p.waiters[slot] = waiters[:0]
 		}
 	}
 
@@ -134,23 +158,25 @@ func (p *partition) cycle(now uint64) {
 // are appended in nondecreasing ready times per source, and small
 // reorderings across sources do not matter for timing.
 func (p *partition) popReply(now uint64) *memreq.Request {
-	if len(p.replies) == 0 {
+	n := p.replies.Len()
+	if n == 0 {
 		return nil
 	}
 	// Find the earliest-ready entry among the first few to avoid
 	// head-of-line blocking from slightly out-of-order ready stamps.
 	best := -1
-	for i := 0; i < len(p.replies) && i < 4; i++ {
-		if p.replies[i].ready <= now && (best == -1 || p.replies[i].ready < p.replies[best].ready) {
+	var bestReady uint64
+	for i := 0; i < n && i < 4; i++ {
+		e := p.replies.At(i)
+		if e.ready <= now && (best == -1 || e.ready < bestReady) {
 			best = i
+			bestReady = e.ready
 		}
 	}
 	if best == -1 {
 		return nil
 	}
-	r := p.replies[best].req
-	p.replies = append(p.replies[:best], p.replies[best+1:]...)
-	return r
+	return p.replies.RemoveAt(best).req
 }
 
 // backlogged reports whether the partition is too full to accept another

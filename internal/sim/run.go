@@ -61,18 +61,26 @@ func (r *Result) BWUtilTotal() float64 {
 func (g *GPU) FinishRun() *Result {
 	if g.cycle > g.intervalStart {
 		snap := g.takeSnapshot()
-		g.snapshots = append(g.snapshots, *snap)
+		g.addSnapshot(snap)
 		g.resetInterval()
 	}
 	res := &Result{Cycles: g.cycle, Snapshots: g.snapshots}
 	res.Apps = make([]AppResult, len(g.apps))
 
 	// Aggregate memory counters across snapshots (controller counters are
-	// reset each interval, so the snapshots are the durable record).
+	// reset each interval, so the snapshots are the durable record), seeded
+	// with the totals of any snapshots evicted under a retention cap.
+	res.BusCycles = g.evicted.busCycles
+	res.BusWasted = g.evicted.busWasted
+	res.BusIdle = g.evicted.busIdle
 	served := make([]uint64, len(g.apps))
 	data := make([]uint64, len(g.apps))
 	rowHits := make([]uint64, len(g.apps))
 	rowMisses := make([]uint64, len(g.apps))
+	copy(served, g.evicted.served)
+	copy(data, g.evicted.data)
+	copy(rowHits, g.evicted.rowHits)
+	copy(rowMisses, g.evicted.rowMisses)
 	for si := range g.snapshots {
 		s := &g.snapshots[si]
 		res.BusCycles += s.BusCycles
@@ -119,14 +127,14 @@ func (g *GPU) FinishRun() *Result {
 
 // RunAlone simulates one kernel alone on all SMs for the given cycles and
 // returns the result. This provides the IPC^alone baseline of Eq. 1.
-func RunAlone(cfg config.Config, p kernels.Profile, cycles uint64, seed uint64) (*Result, error) {
-	return RunAloneContext(context.Background(), cfg, p, cycles, seed)
+func RunAlone(cfg config.Config, p kernels.Profile, cycles uint64, seed uint64, opts ...Option) (*Result, error) {
+	return RunAloneContext(context.Background(), cfg, p, cycles, seed, opts...)
 }
 
 // RunAloneContext is RunAlone with cancellation: the run aborts (returning
 // ctx.Err()) when ctx is cancelled or its deadline passes.
-func RunAloneContext(ctx context.Context, cfg config.Config, p kernels.Profile, cycles uint64, seed uint64) (*Result, error) {
-	g, err := New(cfg, []kernels.Profile{p}, []int{cfg.NumSMs}, seed)
+func RunAloneContext(ctx context.Context, cfg config.Config, p kernels.Profile, cycles uint64, seed uint64, opts ...Option) (*Result, error) {
+	g, err := New(cfg, []kernels.Profile{p}, []int{cfg.NumSMs}, seed, opts...)
 	if err != nil {
 		return nil, err
 	}

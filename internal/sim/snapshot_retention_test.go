@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"dasesim/internal/config"
+)
+
+// TestSnapshotRetention pins the contract of WithSnapshotRetention: the
+// retained window holds exactly the newest snapshots, and every aggregate
+// in FinishRun's Result is identical to an uncapped run — eviction folds
+// the dropped intervals into running counters rather than losing them.
+func TestSnapshotRetention(t *testing.T) {
+	cfg := config.Default()
+	cfg.IntervalCycles = 5_000
+	ps := twoApps(t)
+
+	run := func(opts ...Option) *Result {
+		g, err := New(cfg, ps, []int{8, 8}, 7, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Run(60_000) // 12 intervals
+		return g.FinishRun()
+	}
+
+	full := run()
+	capped := run(WithSnapshotRetention(3))
+
+	if len(full.Snapshots) != 12 {
+		t.Fatalf("uncapped snapshots = %d, want 12", len(full.Snapshots))
+	}
+	if len(capped.Snapshots) != 3 {
+		t.Fatalf("capped snapshots = %d, want 3", len(capped.Snapshots))
+	}
+	tail := full.Snapshots[len(full.Snapshots)-3:]
+	if !reflect.DeepEqual(capped.Snapshots, tail) {
+		t.Fatal("capped window is not the newest 3 snapshots of the uncapped run")
+	}
+
+	// Everything except the snapshot window must match exactly.
+	fullNoSnaps, cappedNoSnaps := *full, *capped
+	fullNoSnaps.Snapshots, cappedNoSnaps.Snapshots = nil, nil
+	if !reflect.DeepEqual(fullNoSnaps, cappedNoSnaps) {
+		t.Fatalf("aggregates diverge under retention cap:\nuncapped: %+v\ncapped:   %+v",
+			fullNoSnaps, cappedNoSnaps)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"dasesim/internal/config"
 	"dasesim/internal/kernels"
 	"dasesim/internal/memreq"
+	"dasesim/internal/ring"
 	"dasesim/internal/stats"
 )
 
@@ -110,10 +111,11 @@ type SM struct {
 
 	l1   *cache.Cache
 	amap memreq.AddrMap
+	pool *memreq.Pool // shared per-GPU request recycler
 
 	warps     []warp
 	freeSlots []int
-	runnable  []int // ready warp indices, issued round-robin
+	runnable  *ring.Buffer[int32] // ready warp indices, issued round-robin
 	wheel     [wheelSize][]wheelEntry
 
 	resident   int // resident thread blocks
@@ -125,19 +127,24 @@ type SM struct {
 
 	// outbox holds requests accepted by the LSU but not yet injected into
 	// the interconnect; when it backs up, memory issue throttles.
-	outbox []*memreq.Request
+	outbox *ring.Buffer[*memreq.Request]
 
-	// wakeLists maps an in-flight L1-miss line address to the warps
-	// blocked on it (the MSHR merge lists).
-	wakeLists map[uint64][]int
+	// waiters[slot] lists the warps blocked on the in-flight L1 miss
+	// tracked by MSHR slot (the MSHR merge lists). Slot numbers come from
+	// the L1's AccessIdx/FillIdx, so no per-line map is needed.
+	waiters [][]int32
 
 	stats Stats
 }
 
 const outboxLimit = 48
 
-// New builds an SM.
-func New(id int, cfg config.Config, amap memreq.AddrMap) *SM {
+// New builds an SM. All SMs of one GPU share the request pool; pass nil to
+// give the SM a private one (tests).
+func New(id int, cfg config.Config, amap memreq.AddrMap, pool *memreq.Pool) *SM {
+	if pool == nil {
+		pool = &memreq.Pool{}
+	}
 	maxRes := cfg.SM.MaxBlocks
 	sm := &SM{
 		ID:             id,
@@ -145,11 +152,17 @@ func New(id int, cfg config.Config, amap memreq.AddrMap) *SM {
 		owner:          memreq.InvalidApp,
 		l1:             cache.NewCache(cfg.L1, 1),
 		amap:           amap,
+		pool:           pool,
 		warps:          make([]warp, cfg.SM.MaxWarps),
+		runnable:       ring.New[int32](cfg.SM.MaxWarps),
 		maxResident:    maxRes,
 		blockWarps:     make([]int, maxRes),
 		blockAtBarrier: make([]int, maxRes),
-		wakeLists:      make(map[uint64][]int),
+		outbox:         ring.New[*memreq.Request](outboxLimit),
+		waiters:        make([][]int32, cfg.L1.MSHRs),
+	}
+	for i := range sm.waiters {
+		sm.waiters[i] = make([]int32, 0, cfg.L1.MSHRMerge+1)
 	}
 	sm.freeSlots = make([]int, 0, cfg.SM.MaxWarps)
 	for i := cfg.SM.MaxWarps - 1; i >= 0; i-- {
@@ -169,7 +182,7 @@ func (sm *SM) Assign(app memreq.AppID, src BlockSource) {
 	if sm.resident != 0 {
 		panic(fmt.Sprintf("smcore: assigning SM %d while %d blocks resident", sm.ID, sm.resident))
 	}
-	if len(sm.wakeLists) != 0 {
+	if sm.l1.MSHRsInUse() != 0 {
 		panic(fmt.Sprintf("smcore: assigning SM %d with in-flight loads", sm.ID))
 	}
 	sm.owner = app
@@ -204,22 +217,19 @@ func (sm *SM) ResetStats() { sm.stats = Stats{} }
 
 // Outbox returns the pending outbound requests; the simulator drains it via
 // PopOutbox as interconnect ports free up.
-func (sm *SM) OutboxLen() int { return len(sm.outbox) }
+func (sm *SM) OutboxLen() int { return sm.outbox.Len() }
 
 // PeekOutbox returns the head outbound request without removing it.
 func (sm *SM) PeekOutbox() *memreq.Request {
-	if len(sm.outbox) == 0 {
+	if sm.outbox.Empty() {
 		return nil
 	}
-	return sm.outbox[0]
+	return sm.outbox.Front()
 }
 
 // PopOutbox removes and returns the head outbound request.
 func (sm *SM) PopOutbox() *memreq.Request {
-	r := sm.outbox[0]
-	copy(sm.outbox, sm.outbox[1:])
-	sm.outbox = sm.outbox[:len(sm.outbox)-1]
-	return r
+	return sm.outbox.PopFront()
 }
 
 // maxBlocksByWarps returns how many blocks of the given width fit.
@@ -270,7 +280,7 @@ func (sm *SM) tryDispatch() {
 			w.block = slot
 			w.outstanding = 0
 			w.pendingIdx = -1
-			sm.runnable = append(sm.runnable, wi)
+			sm.runnable.PushBack(int32(wi))
 		}
 	}
 }
@@ -306,7 +316,7 @@ func (sm *SM) Cycle(now uint64) {
 			case 0: // compute wake
 				if w.state == warpComputeWait {
 					w.state = warpReady
-					sm.runnable = append(sm.runnable, e.warp)
+					sm.runnable.PushBack(int32(e.warp))
 				}
 			case 1: // L1-hit line arrival
 				sm.lineArrived(e.warp)
@@ -322,19 +332,17 @@ func (sm *SM) Cycle(now uint64) {
 
 	issued := 0
 	blocked := false
-	attempts := len(sm.runnable)
-	for issued < sm.cfg.SM.IssueWidth && attempts > 0 && len(sm.runnable) > 0 {
+	attempts := sm.runnable.Len()
+	for issued < sm.cfg.SM.IssueWidth && attempts > 0 && !sm.runnable.Empty() {
 		attempts--
-		wi := sm.runnable[0]
-		copy(sm.runnable, sm.runnable[1:])
-		sm.runnable = sm.runnable[:len(sm.runnable)-1]
+		wi := int(sm.runnable.PopFront())
 		switch sm.issueWarp(wi, now) {
 		case issueOK:
 			issued++
 		case issueBlocked:
 			// Structural hazard (MSHR/outbox full): requeue and stop
 			// trying this cycle — the hazard will not clear mid-cycle.
-			sm.runnable = append(sm.runnable, wi)
+			sm.runnable.PushBack(int32(wi))
 			attempts = 0
 			blocked = true
 		case issueRetired, issueWaiting:
@@ -413,22 +421,23 @@ func (sm *SM) issueWarp(wi int, now uint64) issueResult {
 		if op.Write {
 			// Write-through, no-allocate: stores bypass L1 and do not
 			// block the warp, but need outbox space.
-			if len(sm.outbox) >= outboxLimit {
+			if sm.outbox.Len() >= outboxLimit {
 				return issueBlocked
 			}
-			sm.outbox = append(sm.outbox, &memreq.Request{
-				App: sm.owner, SM: sm.ID, Warp: wi,
-				Addr: addr, Kind: memreq.Write, Issued: now,
-			})
+			r := sm.pool.Get()
+			r.App, r.SM, r.Warp = sm.owner, sm.ID, wi
+			r.Addr, r.Kind, r.Issued = addr, memreq.Write, now
+			sm.outbox.PushBack(r)
 			w.pendingIdx++
 			continue
 		}
 		set := sm.amap.CacheSet(addr, sm.l1.Sets())
 		// Peek outbox space before a potentially mutating access.
-		if len(sm.outbox) >= outboxLimit && !sm.l1.Probe(set, addr) {
+		if sm.outbox.Len() >= outboxLimit && !sm.l1.Probe(set, addr) {
 			return issueBlocked
 		}
-		switch sm.l1.Access(0, set, addr) {
+		res, slot := sm.l1.AccessIdx(0, set, addr, false)
+		switch res {
 		case cache.Hit:
 			sm.stats.LoadsL1Hit++
 			w.outstanding++
@@ -437,15 +446,15 @@ func (sm *SM) issueWarp(wi int, now uint64) issueResult {
 		case cache.Miss:
 			sm.stats.LoadsL1Miss++
 			w.outstanding++
-			sm.wakeLists[addr] = append(sm.wakeLists[addr], wi)
-			sm.outbox = append(sm.outbox, &memreq.Request{
-				App: sm.owner, SM: sm.ID, Warp: wi,
-				Addr: addr, Kind: memreq.Read, Issued: now,
-			})
+			sm.waiters[slot] = append(sm.waiters[slot][:0], int32(wi))
+			r := sm.pool.Get()
+			r.App, r.SM, r.Warp = sm.owner, sm.ID, wi
+			r.Addr, r.Kind, r.Issued = addr, memreq.Read, now
+			sm.outbox.PushBack(r)
 		case cache.MergedMiss:
 			sm.stats.LoadsL1Miss++
 			w.outstanding++
-			sm.wakeLists[addr] = append(sm.wakeLists[addr], wi)
+			sm.waiters[slot] = append(sm.waiters[slot], int32(wi))
 		case cache.Blocked:
 			return issueBlocked
 		}
@@ -496,7 +505,7 @@ func (sm *SM) lineArrived(wi int) {
 	}
 	if w.outstanding == 0 && w.state == warpMemWait {
 		w.state = warpReady
-		sm.runnable = append(sm.runnable, wi)
+		sm.runnable.PushBack(int32(wi))
 	}
 }
 
@@ -511,10 +520,12 @@ func (sm *SM) DeliverReply(r *memreq.Request, now uint64) {
 	}
 	addr := r.Addr
 	set := sm.amap.CacheSet(addr, sm.l1.Sets())
-	sm.l1.Fill(0, set, addr)
-	waiters := sm.wakeLists[addr]
-	delete(sm.wakeLists, addr)
-	for _, wi := range waiters {
-		sm.lineArrived(wi)
+	_, _, _, slot := sm.l1.FillIdx(0, set, addr, false)
+	if slot >= 0 {
+		for _, wi := range sm.waiters[slot] {
+			sm.lineArrived(int(wi))
+		}
+		sm.waiters[slot] = sm.waiters[slot][:0]
 	}
+	sm.pool.Put(r)
 }

@@ -51,7 +51,7 @@ func memProfile() kernels.Profile {
 func newSM() *SM {
 	cfg := config.Default()
 	amap := memreq.NewAddrMap(cfg.L1.LineBytes, cfg.NumMCs, cfg.Mem.NumBanks, cfg.Mem.RowBytes)
-	return New(0, cfg, amap)
+	return New(0, cfg, amap, nil)
 }
 
 func TestPureComputeBlockRetires(t *testing.T) {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the engine benchmark trio and appends the averaged numbers as a dated
+# entry to BENCH_cycles.json (see scripts/benchjson). Pass a note describing
+# the state being measured:
+#
+#   scripts/bench.sh "after MSHR index rework"
+#
+# Environment:
+#   COUNT  benchmark repetitions per entry (default 5)
+#   BENCH  benchmark selector regex (default the engine trio)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+BENCH="${BENCH:-GPUCycle|DASEEstimate|PartitionSearch}"
+NOTE="${1:-}"
+
+go test -run '^$' -bench "$BENCH" -benchmem -count="$COUNT" . |
+    go run ./scripts/benchjson -out BENCH_cycles.json -note "$NOTE"

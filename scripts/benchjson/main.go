@@ -1,0 +1,151 @@
+// Command benchjson reads `go test -bench` output on stdin, averages each
+// benchmark across its -count repetitions, and appends one dated entry to a
+// JSON trajectory file (BENCH_cycles.json at the repository root). The file
+// is a JSON array of entries, oldest first, so the committed history shows
+// how engine performance moved across changes.
+//
+// Usage (normally via scripts/bench.sh):
+//
+//	go test -run '^$' -bench 'GPUCycle' -benchmem -count=5 . |
+//	    go run ./scripts/benchjson -out BENCH_cycles.json -note "after X"
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchStats is the averaged result of one benchmark across repetitions.
+type BenchStats struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Runs        int     `json:"runs"`
+}
+
+// Entry is one dated measurement of the benchmark suite.
+type Entry struct {
+	Date       string                `json:"date"`
+	Commit     string                `json:"commit"`
+	Note       string                `json:"note,omitempty"`
+	Benchmarks map[string]BenchStats `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_cycles.json", "trajectory file to append to")
+	note := flag.String("note", "", "free-form label for this entry")
+	commit := flag.String("commit", "", "commit id (default: git rev-parse --short HEAD)")
+	flag.Parse()
+
+	if *commit == "" {
+		if b, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+			*commit = strings.TrimSpace(string(b))
+		} else {
+			*commit = "unknown"
+		}
+	}
+
+	sums := map[string]*BenchStats{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the caller still sees the run
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		s := sums[name]
+		if s == nil {
+			s = &BenchStats{}
+			sums[name] = s
+		}
+		s.NsPerOp += atof(m[2])
+		s.BytesPerOp += atof(m[3])
+		s.AllocsPerOp += atof(m[4])
+		s.Runs++
+	}
+	if err := sc.Err(); err != nil {
+		fatal("read stdin: %v", err)
+	}
+	if len(sums) == 0 {
+		fatal("no benchmark lines found on stdin")
+	}
+
+	entry := Entry{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Commit:     *commit,
+		Note:       *note,
+		Benchmarks: map[string]BenchStats{},
+	}
+	for name, s := range sums {
+		n := float64(s.Runs)
+		entry.Benchmarks[name] = BenchStats{
+			NsPerOp:     round1(s.NsPerOp / n),
+			BytesPerOp:  round1(s.BytesPerOp / n),
+			AllocsPerOp: round1(s.AllocsPerOp / n),
+			Runs:        s.Runs,
+		}
+	}
+
+	var entries []Entry
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			fatal("parse %s: %v", *out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		fatal("read %s: %v", *out, err)
+	}
+	entries = append(entries, entry)
+
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal("write %s: %v", *out, err)
+	}
+
+	names := make([]string, 0, len(entry.Benchmarks))
+	for n := range entry.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "appended entry %s (%s) to %s:\n", entry.Date, entry.Commit, *out)
+	for _, n := range names {
+		s := entry.Benchmarks[n]
+		fmt.Fprintf(os.Stderr, "  %-20s %12.0f ns/op %10.0f B/op %8.1f allocs/op (n=%d)\n",
+			n, s.NsPerOp, s.BytesPerOp, s.AllocsPerOp, s.Runs)
+	}
+}
+
+func atof(s string) float64 {
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func round1(v float64) float64 {
+	return float64(int64(v*10+0.5)) / 10
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

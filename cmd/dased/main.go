@@ -49,6 +49,7 @@ func main() {
 	configPath := flag.String("config", "", "load the GPU configuration from this JSON file")
 	kernelsPath := flag.String("kernels", "", "load custom kernel profiles from this JSON file")
 	snapRetention := flag.Int("snapshot-retention", 0, "interval snapshots kept per result (0: 4096, negative: unlimited)")
+	checkInvariants := flag.Bool("check-invariants", false, "run the engine's periodic invariant sweep in every simulation (debug; a violation fails the job)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func main() {
 		MaxRetries:        *maxRetries,
 		ShedHighWater:     *shedHighWater,
 		SnapshotRetention: *snapRetention,
+		CheckInvariants:   *checkInvariants,
 	}
 	// In Options, 0 retries means "use the default"; on the command line an
 	// explicit 0 means none.

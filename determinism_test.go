@@ -18,6 +18,7 @@ package dasesim
 // with: go test -run TestDeterminismGolden -update-golden
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -27,6 +28,7 @@ import (
 	"reflect"
 	"testing"
 
+	"dasesim/internal/faults"
 	"dasesim/internal/sched"
 	"dasesim/internal/sim"
 )
@@ -54,12 +56,15 @@ type detCase struct {
 	alloc  []int
 	cycles uint64
 	seed   uint64
-	run    func(t *testing.T, c detCase) *sim.Result
+	// opts is appended to each run's sim options; TestInvariantChecksGolden
+	// reuses the cases with WithInvariantChecks added here.
+	opts []sim.Option
+	run  func(t *testing.T, c detCase) *sim.Result
 }
 
 func runShared(t *testing.T, c detCase) *sim.Result {
 	t.Helper()
-	res, err := sim.RunShared(DefaultConfig(), detProfiles(t, c.abbrs), c.alloc, c.cycles, c.seed)
+	res, err := sim.RunShared(DefaultConfig(), detProfiles(t, c.abbrs), c.alloc, c.cycles, c.seed, c.opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +73,8 @@ func runShared(t *testing.T, c detCase) *sim.Result {
 
 func runSharedEpochs(t *testing.T, c detCase) *sim.Result {
 	t.Helper()
-	res, err := sim.RunShared(DefaultConfig(), detProfiles(t, c.abbrs), c.alloc, c.cycles, c.seed, sim.WithPriorityEpochs())
+	opts := append([]sim.Option{sim.WithPriorityEpochs()}, c.opts...)
+	res, err := sim.RunShared(DefaultConfig(), detProfiles(t, c.abbrs), c.alloc, c.cycles, c.seed, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,9 +86,39 @@ func runSharedEpochs(t *testing.T, c detCase) *sim.Result {
 // performance refactor is most likely to disturb.
 func runFairPolicy(t *testing.T, c detCase) *sim.Result {
 	t.Helper()
-	res, err := sched.Run(DefaultConfig(), detProfiles(t, c.abbrs), c.alloc, c.cycles, c.seed, sched.NewDASEFair())
+	res, err := sched.Run(DefaultConfig(), detProfiles(t, c.abbrs), c.alloc, c.cycles, c.seed, sched.NewDASEFair(), c.opts...)
 	if err != nil {
 		t.Fatal(err)
+	}
+	return res
+}
+
+// runRetentionFaultRetry exercises the operational paths the daemon leans on:
+// the first attempt dies to an injected sim.step fault (as a crashed worker
+// would), the retry must succeed, and the whole run executes under a snapshot
+// retention cap small enough to force eviction folding. The fingerprint
+// therefore covers WithSnapshotRetention's truncated-snapshot encoding and
+// proves a post-fault retry reproduces the canonical result bit for bit.
+func runRetentionFaultRetry(t *testing.T, c detCase) *sim.Result {
+	t.Helper()
+	reg := faults.New(99)
+	reg.Arm(faults.Spec{Point: "sim.step", Mode: faults.ModeError, Count: 1})
+	faults.Activate(reg)
+	defer faults.Deactivate()
+
+	// Retention 2 with IntervalCycles 50_000 over 160_000 cycles produces 3
+	// snapshots and evicts the first, so the fold-into-aggregates path is on
+	// the golden fingerprint.
+	opts := append([]sim.Option{sim.WithSnapshotRetention(2)}, c.opts...)
+	if _, err := sim.RunSharedContext(context.Background(), DefaultConfig(), detProfiles(t, c.abbrs), c.alloc, c.cycles, c.seed, opts...); err == nil {
+		t.Fatal("first attempt survived the armed sim.step fault")
+	}
+	res, err := sim.RunSharedContext(context.Background(), DefaultConfig(), detProfiles(t, c.abbrs), c.alloc, c.cycles, c.seed, opts...)
+	if err != nil {
+		t.Fatalf("retry after injected fault: %v", err)
+	}
+	if len(res.Snapshots) != 2 {
+		t.Fatalf("retention cap kept %d snapshots, want 2", len(res.Snapshots))
 	}
 	return res
 }
@@ -107,6 +143,39 @@ func detCases() []detCase {
 		{name: "quad-SB-SD-CT-QR", abbrs: []string{"SB", "SD", "CT", "QR"}, alloc: []int{4, 4, 4, 4}, cycles: 120_000, seed: 7, run: runShared},
 		{name: "pair-SB-SD-epochs", abbrs: []string{"SB", "SD"}, alloc: []int{8, 8}, cycles: 120_000, seed: 1, run: runSharedEpochs},
 		{name: "pair-VA-CT-dasefair", abbrs: []string{"VA", "CT"}, alloc: []int{8, 8}, cycles: 160_000, seed: 5, run: runFairPolicy},
+		{name: "pair-SB-SD-retention-faultretry", abbrs: []string{"SB", "SD"}, alloc: []int{8, 8}, cycles: 160_000, seed: 11, run: runRetentionFaultRetry},
+	}
+}
+
+// TestInvariantChecksGolden reruns every determinism scenario with the
+// runtime invariant checker enabled and requires the recorded golden
+// fingerprint: the sweep must pass on every state the scenarios reach AND
+// must not perturb the simulation by a single byte.
+func TestInvariantChecksGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped with -short")
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read %s: %v (regenerate with -update-golden)", goldenPath, err)
+	}
+	golden := map[string]string{}
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+	for _, c := range detCases() {
+		c := c
+		c.opts = append(c.opts, sim.WithInvariantChecks())
+		t.Run(c.name, func(t *testing.T) {
+			fp := fingerprint(t, c.run(t, c))
+			want, ok := golden[c.name]
+			if !ok {
+				t.Fatalf("no golden fingerprint for %q", c.name)
+			}
+			if fp != want {
+				t.Errorf("fingerprint mismatch with invariant checks on: got %s want %s\nchecking must be observation-only", fp, want)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,55 @@
+package dasesim
+
+// Compile-and-run smoke coverage for the examples/ binaries: each must build
+// with the current API and run to completion producing output. The examples
+// double as the README's usage documentation, so an API change that breaks
+// them should fail the suite, not a reader.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// exampleBins lists every example with the arguments that keep the smoke run
+// short. Binaries without a -cycles flag use their built-in budgets (300k to
+// 500k cycles, a few seconds each).
+var exampleBins = []struct {
+	name string
+	args []string
+}{
+	{name: "bwdecomp", args: []string{"-cycles", "60000"}},
+	{name: "fairsched"},
+	{name: "qos"},
+	{name: "quickstart"},
+	{name: "slowdown"},
+}
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs all example binaries; skipped with -short")
+	}
+	binDir := t.TempDir()
+	for _, ex := range exampleBins {
+		ex := ex
+		t.Run(ex.name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(binDir, ex.name)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+ex.name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build examples/%s: %v\n%s", ex.name, err, out)
+			}
+			if _, err := os.Stat("examples/" + ex.name + "/main.go"); err != nil {
+				t.Fatalf("example source missing: %v", err)
+			}
+			out, err := exec.Command(bin, ex.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("run %s %v: %v\n%s", ex.name, ex.args, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", ex.name)
+			}
+		})
+	}
+}

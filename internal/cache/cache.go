@@ -5,6 +5,8 @@
 package cache
 
 import (
+	"fmt"
+
 	"dasesim/internal/config"
 	"dasesim/internal/memreq"
 )
@@ -372,6 +374,100 @@ func (c *Cache) MSHRSlot(addr uint64) int { return int(c.index.get(addr)) }
 
 // MSHRsInUse reports how many MSHRs are currently allocated.
 func (c *Cache) MSHRsInUse() int { return c.cfg.MSHRs - len(c.free) }
+
+// MSHRAddr returns the miss address tracked by an MSHR slot, and whether the
+// slot is currently allocated. Callers that keep per-slot waiter lists use it
+// to cross-check their lists against the cache's view.
+func (c *Cache) MSHRAddr(slot int) (uint64, bool) {
+	if slot < 0 || slot >= len(c.mshrs) || !c.mshrs[slot].valid {
+		return 0, false
+	}
+	return c.mshrs[slot].tag, true
+}
+
+// MSHRMerged returns how many accesses are merged on an allocated slot beyond
+// the original miss (0 for free slots).
+func (c *Cache) MSHRMerged(slot int) int {
+	if slot < 0 || slot >= len(c.mshrs) || !c.mshrs[slot].valid {
+		return 0
+	}
+	return c.mshrs[slot].merged
+}
+
+// CheckInvariants verifies the agreement between the three MSHR views — the
+// mshr array, the open-addressed address index, and the free-slot stack:
+//
+//   - every index entry points at an allocated MSHR whose tag matches the key,
+//     and no slot is indexed twice;
+//   - every key is reachable through the probe sequence (get finds it), so
+//     backward-shift deletion never broke a chain;
+//   - every allocated MSHR is indexed, every free-stack slot is unallocated,
+//     each slot is exactly one of the two, and the counts add up.
+//
+// It is O(MSHRs + table size) and mutates nothing; the simulator's invariant
+// checker calls it periodically when enabled.
+func (c *Cache) CheckInvariants() error {
+	indexed := make(map[int32]uint64, len(c.mshrs))
+	entries := 0
+	for i := range c.index.slots {
+		slot := c.index.slots[i]
+		if slot < 0 {
+			continue
+		}
+		entries++
+		key := c.index.keys[i]
+		if int(slot) >= len(c.mshrs) {
+			return fmt.Errorf("cache: index entry %#x -> slot %d out of range", key, slot)
+		}
+		m := &c.mshrs[slot]
+		if !m.valid {
+			return fmt.Errorf("cache: index entry %#x -> slot %d which is not allocated", key, slot)
+		}
+		if m.tag != key {
+			return fmt.Errorf("cache: index entry %#x -> slot %d holding tag %#x", key, slot, m.tag)
+		}
+		if prev, dup := indexed[slot]; dup {
+			return fmt.Errorf("cache: slot %d indexed twice (%#x and %#x)", slot, prev, key)
+		}
+		indexed[slot] = key
+		if got := c.index.get(key); got != slot {
+			return fmt.Errorf("cache: probe chain broken: get(%#x)=%d, table holds slot %d", key, got, slot)
+		}
+	}
+	free := make(map[int32]bool, len(c.free))
+	for _, s := range c.free {
+		if int(s) >= len(c.mshrs) || s < 0 {
+			return fmt.Errorf("cache: free stack holds out-of-range slot %d", s)
+		}
+		if free[s] {
+			return fmt.Errorf("cache: slot %d on the free stack twice", s)
+		}
+		free[s] = true
+		if c.mshrs[s].valid {
+			return fmt.Errorf("cache: slot %d both free and allocated", s)
+		}
+	}
+	allocated := 0
+	for s := range c.mshrs {
+		m := &c.mshrs[s]
+		switch {
+		case m.valid:
+			allocated++
+			if _, ok := indexed[int32(s)]; !ok {
+				return fmt.Errorf("cache: allocated slot %d (tag %#x) missing from the index", s, m.tag)
+			}
+		case !free[int32(s)]:
+			return fmt.Errorf("cache: slot %d neither allocated nor on the free stack", s)
+		}
+	}
+	if entries != allocated {
+		return fmt.Errorf("cache: %d index entries for %d allocated MSHRs", entries, allocated)
+	}
+	if allocated+len(c.free) != c.cfg.MSHRs {
+		return fmt.Errorf("cache: %d allocated + %d free != %d MSHRs", allocated, len(c.free), c.cfg.MSHRs)
+	}
+	return nil
+}
 
 // Reset invalidates all lines, MSHRs and statistics.
 func (c *Cache) Reset() {

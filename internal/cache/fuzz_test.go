@@ -1,0 +1,56 @@
+package cache
+
+import (
+	"testing"
+
+	"dasesim/internal/refmodel"
+)
+
+// FuzzMSHRIndex drives the open-addressed mshrIndex and the map-based
+// refmodel.MSHRIndex it replaced with one put/get/del stream over a small
+// address space (forcing probe collisions and backward-shift deletions), and
+// compares every lookup plus the full address space after each mutation.
+//
+// Byte stream: opcode byte then address byte. Addresses are multiplied to
+// line granularity so the Fibonacci-hash path sees realistic regular keys.
+func FuzzMSHRIndex(f *testing.F) {
+	f.Add([]byte("0a0b0c2a2b1a2a0a2c1b1c"))               // put/del/get churn
+	f.Add([]byte("000102030405060708091011121314151617")) // fill then delete in order
+	f.Add([]byte("0a0b0c0d1b0e1a1c0f1d1e1f"))             // interleaved deletes (shift chains)
+	f.Add([]byte("0z1z2z0z1z2z0y1y0x2x2y1x"))             // same keys recycled
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const entries = 12 // table size 32: collisions guaranteed at high load
+		ix := newMSHRIndex(entries)
+		ref := refmodel.NewMSHRIndex()
+		var nextSlot int32
+		addrOf := func(b byte) uint64 { return uint64(b%48) * 128 }
+		for i := 0; i+1 < len(data); i += 2 {
+			op, addr := data[i]%3, addrOf(data[i+1])
+			switch op {
+			case 0: // put (only when absent and below capacity, as the cache guarantees)
+				if ref.Get(addr) >= 0 || ref.Len() >= entries {
+					continue
+				}
+				slot := nextSlot % entries
+				nextSlot++
+				ix.put(addr, slot)
+				ref.Put(addr, slot)
+			case 1: // del
+				ix.del(addr)
+				ref.Del(addr)
+			case 2: // get
+				if got, want := ix.get(addr), ref.Get(addr); got != want {
+					t.Fatalf("get(%#x): index %d, reference %d", addr, got, want)
+				}
+			}
+			// Sweep the whole key space: any divergence shows up immediately,
+			// including entries lost to a broken backward-shift delete.
+			for b := byte(0); b < 48; b++ {
+				a := uint64(b) * 128
+				if got, want := ix.get(a), ref.Get(a); got != want {
+					t.Fatalf("after op %d: get(%#x) index %d, reference %d", i/2, a, got, want)
+				}
+			}
+		}
+	})
+}

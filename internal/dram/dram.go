@@ -12,6 +12,7 @@
 package dram
 
 import (
+	"fmt"
 	"math/bits"
 
 	"dasesim/internal/config"
@@ -535,3 +536,97 @@ func (c *Controller) sampleBLP() {
 }
 
 func popcount(v uint64) int { return bits.OnesCount64(v) }
+
+// ForEachInFlight calls fn for every request the controller currently holds:
+// buffered in a bank queue, in service in a bank, or completed but not yet
+// drained by Replies. The simulator's conservation checker uses it to walk
+// the live-request set.
+func (c *Controller) ForEachInFlight(fn func(*memreq.Request)) {
+	for _, q := range c.queues {
+		for _, r := range q {
+			fn(r)
+		}
+	}
+	for i := range c.banks {
+		if r := c.banks[i].cur; r != nil {
+			fn(r)
+		}
+	}
+	for _, r := range c.replies {
+		fn(r)
+	}
+}
+
+// CheckInvariants cross-checks the controller's incrementally maintained
+// bookkeeping against from-scratch recounts of the queues and banks:
+//
+//   - queued equals the summed bank-queue lengths;
+//   - every queuedPerBank counter equals a naive recount of its (app, bank);
+//   - every outstanding counter equals the app's queued plus in-service
+//     requests;
+//   - every buffered request sits in the bank queue its address maps to and
+//     carries Row equal to a fresh AddrMap.Row of its address (the cached-row
+//     optimization never diverges from recomputation);
+//   - a bank with a request in service has its row open.
+//
+// It is O(requests) and meant for debug runs (sim.WithInvariantChecks), not
+// the per-cycle hot path.
+func (c *Controller) CheckInvariants() error {
+	total := 0
+	counts := make([]int32, c.numApps*c.cfg.NumBanks)
+	inService := make([]int, c.numApps)
+	for b, q := range c.queues {
+		total += len(q)
+		for i, r := range q {
+			if r == nil {
+				return fmt.Errorf("dram %d: nil request at bank %d index %d", c.id, b, i)
+			}
+			if int(r.App) < 0 || int(r.App) >= c.numApps {
+				return fmt.Errorf("dram %d: bank %d holds request with app %d outside [0,%d)", c.id, b, r.App, c.numApps)
+			}
+			if want := c.amap.Bank(r.Addr); want != b {
+				return fmt.Errorf("dram %d: request %v queued at bank %d but maps to bank %d", c.id, r, b, want)
+			}
+			if want := c.amap.Row(r.Addr); r.Row != want {
+				return fmt.Errorf("dram %d: request %v caches row %d but address maps to row %d", c.id, r, r.Row, want)
+			}
+			counts[int(r.App)*c.cfg.NumBanks+b]++
+		}
+	}
+	if total != c.queued {
+		return fmt.Errorf("dram %d: queued counter %d but bank queues hold %d", c.id, c.queued, total)
+	}
+	for i, want := range counts {
+		if got := c.queuedPerBank[i]; got != want {
+			return fmt.Errorf("dram %d: queuedPerBank[app %d][bank %d] = %d, recount %d",
+				c.id, i/c.cfg.NumBanks, i%c.cfg.NumBanks, got, want)
+		}
+	}
+	for bi := range c.banks {
+		b := &c.banks[bi]
+		if b.cur == nil {
+			continue
+		}
+		// An all-bank refresh closes rows under an in-flight transfer: the
+		// burst finishes (cur stays, busyUntil unchanged) while readyAt is
+		// raised to the refresh-end fence. A closed row whose readyAt has
+		// NOT been fenced past the transfer is real corruption.
+		if !b.rowOpen && b.readyAt < b.busyUntil {
+			return fmt.Errorf("dram %d: bank %d in service with no open row and no refresh fence", c.id, bi)
+		}
+		if int(b.cur.App) < 0 || int(b.cur.App) >= c.numApps {
+			return fmt.Errorf("dram %d: bank %d serves request with app %d outside [0,%d)", c.id, bi, b.cur.App, c.numApps)
+		}
+		inService[b.cur.App]++
+	}
+	for a := 0; a < c.numApps; a++ {
+		want := inService[a]
+		for bi := 0; bi < c.cfg.NumBanks; bi++ {
+			want += int(counts[a*c.cfg.NumBanks+bi])
+		}
+		if got := c.outstanding[a]; got != want {
+			return fmt.Errorf("dram %d: outstanding[%d] = %d, queues+banks hold %d", c.id, a, got, want)
+		}
+	}
+	return nil
+}

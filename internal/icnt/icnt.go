@@ -6,6 +6,8 @@
 package icnt
 
 import (
+	"fmt"
+
 	"dasesim/internal/config"
 	"dasesim/internal/memreq"
 	"dasesim/internal/ring"
@@ -140,3 +142,39 @@ func (ic *ICNT) RecvAtSM(sm int, now uint64) *memreq.Request {
 // (arrived or still traversing). The simulator uses it to skip the receive
 // scan for idle ports.
 func (ic *ICNT) InFlightToSM(sm int) int { return ic.toSM[sm].len() }
+
+// ForEachInFlight calls fn for every request buffered in the crossbar, in
+// either direction — the interconnect's contribution to the simulator's
+// live-request set.
+func (ic *ICNT) ForEachInFlight(fn func(*memreq.Request)) {
+	for i := range ic.toMem {
+		ic.toMem[i].q.Do(func(e entry) { fn(e.req) })
+	}
+	for i := range ic.toSM {
+		ic.toSM[i].q.Do(func(e entry) { fn(e.req) })
+	}
+}
+
+// CheckInvariants verifies every port FIFO honours its configured depth and
+// the ring structural contract (unused slots zeroed, so popped packets never
+// pin their requests). O(ports × depth); for debug runs, not the hot path.
+func (ic *ICNT) CheckInvariants() error {
+	zero := func(e entry) bool { return e.req == nil && e.arrives == 0 }
+	for i := range ic.toMem {
+		if f := &ic.toMem[i]; f.len() > f.depth {
+			return fmt.Errorf("icnt: toMem[%d] holds %d packets, depth %d", i, f.len(), f.depth)
+		}
+		if err := ic.toMem[i].q.CheckInvariants(zero); err != nil {
+			return fmt.Errorf("icnt: toMem[%d]: %w", i, err)
+		}
+	}
+	for i := range ic.toSM {
+		if f := &ic.toSM[i]; f.len() > f.depth {
+			return fmt.Errorf("icnt: toSM[%d] holds %d packets, depth %d", i, f.len(), f.depth)
+		}
+		if err := ic.toSM[i].q.CheckInvariants(zero); err != nil {
+			return fmt.Errorf("icnt: toSM[%d]: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package memreq
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("expected panic containing %q, got %v", substr, r)
+		}
+	}()
+	fn()
+}
+
+// TestPoolChecksDoublePut verifies a checked pool panics when the same
+// request is Put twice without an intervening Get.
+func TestPoolChecksDoublePut(t *testing.T) {
+	var p Pool
+	p.EnableChecks()
+	r := p.Get()
+	p.Put(r)
+	mustPanic(t, "double Put", func() { p.Put(r) })
+}
+
+// TestPoolChecksWriteAfterPut models the use-after-Put bug class: a component
+// keeps a pointer past Put and writes through it. The quarantine rotation
+// must report the write when the request's hold-back expires.
+func TestPoolChecksWriteAfterPut(t *testing.T) {
+	var p Pool
+	p.EnableChecks()
+	stale := p.Get()
+	p.Put(stale)
+	stale.Addr = 0xdead // the bug: writing through a recycled pointer
+
+	if err := p.CheckInvariants(); err == nil {
+		t.Error("CheckInvariants missed the write-after-Put while quarantined")
+	}
+	mustPanic(t, "written after Put", func() {
+		// Rotate the quarantine until the stale request reaches its
+		// hold-back limit and the rotation check fires.
+		for i := 0; i <= quarantineDepth; i++ {
+			p.Put(p.Get())
+		}
+	})
+}
+
+// TestPoolChecksCatchesSkippedZeroing models the deliberately-broken mutation
+// from the validation plan: a Put path that forgets to zero the request. The
+// pool cannot un-export its own zeroing, so the test plants the same end
+// state — a non-zero request on the free list — and verifies both detection
+// points (the periodic scan and the Get-side check) catch it.
+func TestPoolChecksCatchesSkippedZeroing(t *testing.T) {
+	var p Pool
+	p.EnableChecks()
+	r := p.Get()
+	p.Put(r)
+	r.L2Miss = true // as if `*r = Request{}` had been dropped from Put
+	if err := p.CheckInvariants(); err == nil {
+		t.Error("CheckInvariants missed the non-zero pooled request")
+	}
+	mustPanic(t, "pool hygiene", func() {
+		// Recycle until the dirty request reaches a detection point — the
+		// quarantine rotation or, at the latest, the Get-side zeroing check.
+		for i := 0; i <= quarantineDepth+poolChunk; i++ {
+			p.Put(p.Get())
+		}
+	})
+}
+
+// TestPoolChecksPreserveValues verifies checking mode is observationally
+// equivalent: a checked pool still hands out zeroed requests and Len stays
+// coherent with the quarantine holding requests back.
+func TestPoolChecksPreserveValues(t *testing.T) {
+	var p Pool
+	p.EnableChecks()
+	if !p.ChecksEnabled() {
+		t.Fatal("ChecksEnabled false after EnableChecks")
+	}
+	r := p.Get()
+	r.Addr = 4096
+	p.Put(r)
+	if !p.Owned(r) {
+		t.Error("pool does not own a request it quarantined")
+	}
+	if g := p.Generation(r); g != 1 {
+		t.Errorf("generation after one Put = %d, want 1", g)
+	}
+	if got := p.Get(); *got != (Request{}) {
+		t.Errorf("checked Get returned non-zero request %+v", got)
+	}
+}

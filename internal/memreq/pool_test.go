@@ -1,0 +1,151 @@
+package memreq_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dasesim/internal/memreq"
+	"dasesim/internal/refmodel"
+)
+
+// nonZero returns a non-zero value of type t, so the hygiene tests below
+// cover every Request field automatically — including ones added after this
+// test was written.
+func nonZero(t reflect.Type) reflect.Value {
+	v := reflect.New(t).Elem()
+	switch t.Kind() {
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(7)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(7)
+	case reflect.String:
+		v.SetString("x")
+	default:
+		panic("nonZero: unsupported Request field kind " + t.Kind().String())
+	}
+	return v
+}
+
+// dirtyRequest returns a Request with every field set to a non-zero value.
+func dirtyRequest(t *testing.T) *memreq.Request {
+	t.Helper()
+	r := &memreq.Request{}
+	rv := reflect.ValueOf(r).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		rv.Field(i).Set(nonZero(rv.Field(i).Type()))
+	}
+	if *r == (memreq.Request{}) {
+		t.Fatal("dirtyRequest produced a zero Request")
+	}
+	return r
+}
+
+// TestPoolPutZeroesAllFields dirties every Request field via reflection and
+// verifies Put resets each one — the contract that keeps pooled requests from
+// leaking state between the transactions that reuse a slot.
+func TestPoolPutZeroesAllFields(t *testing.T) {
+	var p memreq.Pool
+	r := dirtyRequest(t)
+	p.Put(r)
+	rv := reflect.ValueOf(r).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		if !rv.Field(i).IsZero() {
+			t.Errorf("Put left field %s = %v", rv.Type().Field(i).Name, rv.Field(i))
+		}
+	}
+}
+
+// TestPoolGetAfterPutFullyReset recycles a dirtied request through the pool
+// until the same pointer comes back and verifies it returns fully zeroed.
+func TestPoolGetAfterPutFullyReset(t *testing.T) {
+	var p memreq.Pool
+	r := p.Get()
+	rv := reflect.ValueOf(r).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		rv.Field(i).Set(nonZero(rv.Field(i).Type()))
+	}
+	p.Put(r)
+	// The free list is LIFO, so draining at most Len gets the pointer back.
+	for i, n := 0, p.Len(); i < n; i++ {
+		got := p.Get()
+		if *got != (memreq.Request{}) {
+			t.Fatalf("Get %d returned non-zero request %+v", i, got)
+		}
+		if got == r {
+			return
+		}
+	}
+	t.Fatal("recycled pointer never came back out of the pool")
+}
+
+// FuzzPool drives a hygiene-checked Pool and the allocate-fresh
+// refmodel.FreshSource it replaced with one Get/mutate/Put stream, verifying
+// a recycled request is indistinguishable from a freshly allocated one at
+// every step. Ops: byte%3 — 0 Get, 1 mutate live request (operand byte),
+// 2 Put live request (operand byte).
+func FuzzPool(f *testing.F) {
+	f.Add([]byte(strings.Repeat("0", 70)))     // Gets past one chunk, no reuse
+	f.Add([]byte("0001a1b2a0001c2b2a"))        // get/mutate/put churn
+	f.Add([]byte(strings.Repeat("01a2a", 80))) // immediate recycling
+	f.Add([]byte(strings.Repeat("02a", 300)))  // rotate the full quarantine
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p memreq.Pool
+		p.EnableChecks()
+		var fresh refmodel.FreshSource
+		type pair struct{ pooled, ref *memreq.Request }
+		var live []pair
+		for i := 0; i < len(data); i++ {
+			switch data[i] % 3 {
+			case 0: // Get
+				a, b := p.Get(), fresh.Get()
+				if *a != (memreq.Request{}) {
+					t.Fatalf("pool Get returned non-zero request %+v", a)
+				}
+				if *a != *b {
+					t.Fatalf("Get: pooled %+v, fresh %+v", a, b)
+				}
+				live = append(live, pair{a, b})
+			case 1: // mutate one live request, identically on both sides
+				if i+1 >= len(data) || len(live) == 0 {
+					continue
+				}
+				i++
+				k := int(data[i]) % len(live)
+				v := uint64(data[i]) + uint64(i)
+				pr := live[k]
+				for _, r := range []*memreq.Request{pr.pooled, pr.ref} {
+					r.App = memreq.AppID(v % 4)
+					r.SM = int(v % 16)
+					r.Warp = int(v % 48)
+					r.Addr = v * 128
+					r.Kind = memreq.Kind(v % 2)
+					r.Issued = v
+					r.L2Miss = v%3 == 0
+					r.BankEnter = v >> 1
+					r.Row = v >> 3
+				}
+			case 2: // Put one live request
+				if i+1 >= len(data) || len(live) == 0 {
+					continue
+				}
+				i++
+				k := int(data[i]) % len(live)
+				p.Put(live[k].pooled)
+				fresh.Put(live[k].ref)
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			for _, pr := range live {
+				if *pr.pooled != *pr.ref {
+					t.Fatalf("live request diverged: pooled %+v, fresh %+v", pr.pooled, pr.ref)
+				}
+			}
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package ring
+
+import (
+	"testing"
+
+	"dasesim/internal/refmodel"
+)
+
+// FuzzRing drives a ring.Buffer and the slice-based refmodel.FIFO it replaced
+// with one operation stream decoded from the fuzz input, comparing every
+// return value and the full contents after each step. The ring starts at the
+// minimum capacity so growth (the only non-O(1) path) is exercised early.
+//
+// Byte stream: each operation consumes one opcode byte and, for PushBack /
+// At / RemoveAt, one operand byte.
+func FuzzRing(f *testing.F) {
+	f.Add([]byte("0a0b0c0d0e0f0g0h0i1201341"))         // grow past 8, pops, At, RemoveAt
+	f.Add([]byte("0a0b50c0d12"))                       // reset mid-stream
+	f.Add([]byte("0w0x0y0z40341414040404040404"))      // RemoveAt near tail, wraparound pops
+	f.Add([]byte("000102030405060708090a0b0c0d0e0f5")) // fill, then reset
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := New[uint16](1)
+		var ref refmodel.FIFO[uint16]
+		var pushed uint16
+		for i := 0; i < len(data); i++ {
+			switch data[i] % 6 {
+			case 0: // PushBack
+				if i+1 >= len(data) {
+					return
+				}
+				i++
+				pushed++
+				v := uint16(data[i])<<8 | pushed // distinct-ish values
+				r.PushBack(v)
+				ref.PushBack(v)
+			case 1: // PopFront
+				if ref.Empty() {
+					if !r.Empty() {
+						t.Fatalf("ring has %d elements, reference empty", r.Len())
+					}
+					continue
+				}
+				got, want := r.PopFront(), ref.PopFront()
+				if got != want {
+					t.Fatalf("PopFront: ring %d, reference %d", got, want)
+				}
+			case 2: // Front
+				if ref.Empty() {
+					continue
+				}
+				if got, want := r.Front(), ref.Front(); got != want {
+					t.Fatalf("Front: ring %d, reference %d", got, want)
+				}
+			case 3: // At
+				if i+1 >= len(data) || ref.Empty() {
+					continue
+				}
+				i++
+				k := int(data[i]) % ref.Len()
+				if got, want := r.At(k), ref.At(k); got != want {
+					t.Fatalf("At(%d): ring %d, reference %d", k, got, want)
+				}
+			case 4: // RemoveAt
+				if i+1 >= len(data) || ref.Empty() {
+					continue
+				}
+				i++
+				k := int(data[i]) % ref.Len()
+				got, want := r.RemoveAt(k), ref.RemoveAt(k)
+				if got != want {
+					t.Fatalf("RemoveAt(%d): ring %d, reference %d", k, got, want)
+				}
+			case 5: // Reset
+				r.Reset()
+				ref.Reset()
+			}
+			if r.Len() != ref.Len() {
+				t.Fatalf("length diverged: ring %d, reference %d", r.Len(), ref.Len())
+			}
+			for k := 0; k < ref.Len(); k++ {
+				if r.At(k) != ref.At(k) {
+					t.Fatalf("contents diverged at %d: ring %d, reference %d", k, r.At(k), ref.At(k))
+				}
+			}
+			if err := r.CheckInvariants(func(v uint16) bool { return v == 0 }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Drain and compare the survivors.
+		for !ref.Empty() {
+			if got, want := r.PopFront(), ref.PopFront(); got != want {
+				t.Fatalf("drain: ring %d, reference %d", got, want)
+			}
+		}
+		if !r.Empty() {
+			t.Fatalf("ring kept %d elements past the reference", r.Len())
+		}
+	})
+}

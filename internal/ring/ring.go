@@ -7,6 +7,8 @@
 // steady-state queue traffic allocates nothing.
 package ring
 
+import "fmt"
+
 // Buffer is a FIFO ring. The zero value is not usable; construct with New.
 // Buffers grow by doubling when full, so Push never fails; sizing the initial
 // capacity to the queue's structural bound makes growth a cold-path event
@@ -93,6 +95,36 @@ func (b *Buffer[T]) RemoveAt(i int) T {
 	b.head = (b.head + 1) & mask
 	b.n--
 	return v
+}
+
+// Do calls fn for every buffered element, front to back, without removing
+// anything. The invariant checker uses it to walk in-flight requests.
+func (b *Buffer[T]) Do(fn func(T)) {
+	mask := len(b.buf) - 1
+	for i := 0; i < b.n; i++ {
+		fn(b.buf[(b.head+i)&mask])
+	}
+}
+
+// CheckInvariants verifies the structural promises of the ring: the element
+// count fits the backing array, and every unoccupied slot holds the zero
+// value (the "never retains pointers to recycled objects" contract of
+// PopFront/RemoveAt/Reset). isZero reports whether a slot value is zero; it
+// is a parameter because T is not guaranteed comparable.
+func (b *Buffer[T]) CheckInvariants(isZero func(T) bool) error {
+	if b.n < 0 || b.n > len(b.buf) {
+		return fmt.Errorf("ring: count %d outside backing array of %d", b.n, len(b.buf))
+	}
+	if len(b.buf)&(len(b.buf)-1) != 0 {
+		return fmt.Errorf("ring: backing array length %d not a power of two", len(b.buf))
+	}
+	mask := len(b.buf) - 1
+	for i := b.n; i < len(b.buf); i++ {
+		if pos := (b.head + i) & mask; !isZero(b.buf[pos]) {
+			return fmt.Errorf("ring: unused slot %d (head=%d n=%d) not zeroed", pos, b.head, b.n)
+		}
+	}
+	return nil
 }
 
 // Reset discards all elements, zeroing the occupied slots.

@@ -26,6 +26,9 @@ func newFaultServer(t *testing.T, opts Options) (*Server, *faults.Registry) {
 	if opts.DefaultCycles == 0 {
 		opts.DefaultCycles = testCycles
 	}
+	// Every fault-suite simulation runs with the invariant sweep on: faults
+	// must not be able to corrupt engine state in ways a retry then hides.
+	opts.CheckInvariants = true
 	s, err := New(opts)
 	if err != nil {
 		t.Fatal(err)

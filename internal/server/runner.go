@@ -213,8 +213,7 @@ func (s *Server) execute(ctx context.Context, p plan) (*JobResult, bool, error) 
 		for i, prof := range p.profiles {
 			aloneKey := workload.AloneKey(s.opts.Cfg, prof, p.cycles, p.seed)
 			alone, _, err := s.cachedSim(ctx, aloneKey, func(ctx context.Context) (*sim.Result, error) {
-				return sim.RunAloneContext(ctx, s.opts.Cfg, prof, p.cycles, p.seed,
-					sim.WithSnapshotRetention(s.opts.SnapshotRetention))
+				return sim.RunAloneContext(ctx, s.opts.Cfg, prof, p.cycles, p.seed, s.simOpts()...)
 			})
 			if err != nil {
 				return nil, false, fmt.Errorf("alone baseline %s: %w", prof.Abbr, err)
@@ -243,20 +242,31 @@ func (s *Server) cachedSim(ctx context.Context, key string, run func(context.Con
 	return res, !simulated, err
 }
 
-// runSim dispatches the plan to the right simulation entry point. Every
-// entry point gets the server's snapshot-retention cap so unbounded-length
-// jobs cannot grow a result's snapshot slice without limit.
+// simOpts builds the sim options every simulation entry point gets: the
+// snapshot-retention cap (so unbounded-length jobs cannot grow a result's
+// snapshot slice without limit) and, when configured, the runtime invariant
+// sweep. Invariant checking never changes results, so cache keys are shared
+// with unchecked servers.
+func (s *Server) simOpts() []sim.Option {
+	opts := []sim.Option{sim.WithSnapshotRetention(s.opts.SnapshotRetention)}
+	if s.opts.CheckInvariants {
+		opts = append(opts, sim.WithInvariantChecks())
+	}
+	return opts
+}
+
+// runSim dispatches the plan to the right simulation entry point.
 func (s *Server) runSim(ctx context.Context, p plan) (*sim.Result, error) {
-	ret := sim.WithSnapshotRetention(s.opts.SnapshotRetention)
+	opts := s.simOpts()
 	if p.mode == "alone" {
-		return sim.RunAloneContext(ctx, s.opts.Cfg, p.profiles[0], p.cycles, p.seed, ret)
+		return sim.RunAloneContext(ctx, s.opts.Cfg, p.profiles[0], p.cycles, p.seed, opts...)
 	}
 	switch p.policy {
 	case "fair":
-		return sched.RunContext(ctx, s.opts.Cfg, p.profiles, p.alloc, p.cycles, p.seed, sched.NewDASEFair(), ret)
+		return sched.RunContext(ctx, s.opts.Cfg, p.profiles, p.alloc, p.cycles, p.seed, sched.NewDASEFair(), opts...)
 	case "perf":
-		return sched.RunContext(ctx, s.opts.Cfg, p.profiles, p.alloc, p.cycles, p.seed, sched.NewDASEPerf(), ret)
+		return sched.RunContext(ctx, s.opts.Cfg, p.profiles, p.alloc, p.cycles, p.seed, sched.NewDASEPerf(), opts...)
 	default:
-		return sim.RunSharedContext(ctx, s.opts.Cfg, p.profiles, p.alloc, p.cycles, p.seed, ret)
+		return sim.RunSharedContext(ctx, s.opts.Cfg, p.profiles, p.alloc, p.cycles, p.seed, opts...)
 	}
 }

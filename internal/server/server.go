@@ -91,6 +91,13 @@ type Options struct {
 	// the defaults so results are normally untruncated; negative disables
 	// the cap). Whole-run aggregates are exact regardless.
 	SnapshotRetention int
+	// CheckInvariants runs every simulation with the engine's runtime
+	// validation sweep (sim.WithInvariantChecks): pool hygiene, request
+	// conservation, MSHR agreement and monotonic counters. Checking is
+	// observation-only — results and cache keys are unchanged — but costs
+	// simulation throughput, so it defaults to off; a violation fails the
+	// job with an invariant panic instead of returning corrupt numbers.
+	CheckInvariants bool
 	// Logger receives request and job logs (default: log.Default()). Use
 	// log.New(io.Discard, "", 0) to silence.
 	Logger *log.Logger

@@ -60,6 +60,10 @@ type GPU struct {
 	// before it is dropped, so FinishRun's aggregates stay exact.
 	snapRetention int
 	evicted       snapshotAgg
+
+	// checks is non-nil under WithInvariantChecks; step sweeps it
+	// periodically and panics with the first *InvariantViolation.
+	checks *invariantChecker
 }
 
 // snapshotAgg accumulates the run-total counters of snapshots evicted under
@@ -443,6 +447,13 @@ func (g *GPU) step() {
 			g.IntervalHook(g, snap)
 		}
 		g.resetInterval()
+	}
+
+	// 7. Debug validation sweep (WithInvariantChecks); one nil check when off.
+	if g.checks != nil && g.cycle%checkEveryCycles == 0 {
+		if v := g.checks.sweep(); v != nil {
+			panic(v)
+		}
 	}
 }
 

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dasesim/internal/config"
+)
+
+func checkedGPU(t *testing.T) *GPU {
+	t.Helper()
+	g, err := New(config.Default(), twoApps(t), []int{8, 8}, 1, WithInvariantChecks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func expectViolation(t *testing.T, g *GPU, check string) {
+	t.Helper()
+	err := g.CheckInvariantsNow()
+	var v *InvariantViolation
+	if !errors.As(err, &v) {
+		t.Fatalf("expected an InvariantViolation, got %v", err)
+	}
+	if v.Check != check {
+		t.Fatalf("violation check %q (%s), want %q", v.Check, v.Detail, check)
+	}
+}
+
+// TestInvariantChecksCleanRun runs a real two-app workload with the periodic
+// sweep enabled across an interval boundary: the engine must hold every
+// invariant on states it actually reaches.
+func TestInvariantChecksCleanRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped with -short")
+	}
+	g := checkedGPU(t)
+	if !g.InvariantChecksEnabled() {
+		t.Fatal("InvariantChecksEnabled false after WithInvariantChecks")
+	}
+	g.Run(60_000)
+	if err := g.CheckInvariantsNow(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckInvariantsNowRequiresOption documents that the sweep is opt-in.
+func TestCheckInvariantsNowRequiresOption(t *testing.T) {
+	g, err := New(config.Default(), twoApps(t), []int{8, 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariantsNow(); err == nil || !strings.Contains(err.Error(), "WithInvariantChecks") {
+		t.Fatalf("expected a not-enabled error, got %v", err)
+	}
+}
+
+// The tests below plant deliberately broken states — the bug classes the
+// validation layer exists to catch — and verify the sweep reports each one
+// with the right invariant family.
+
+func TestInvariantChecksDetectDuplicateTransport(t *testing.T) {
+	g := checkedGPU(t)
+	g.Run(1_000)
+	r := g.pool.Get()
+	r.App, r.SM = 0, 0
+	p := g.parts[0]
+	p.toMC = append(p.toMC, r, r) // the bug: one request in two transport slots
+	expectViolation(t, g, "conservation")
+}
+
+func TestInvariantChecksDetectUseAfterPut(t *testing.T) {
+	g := checkedGPU(t)
+	g.Run(1_000)
+	r := g.pool.Get()
+	r.App, r.SM = 0, 0
+	p := g.parts[0]
+	p.toMC = append(p.toMC, r)
+	g.pool.Put(r) // the bug: recycled while still queued toward DRAM
+	expectViolation(t, g, "pool-hygiene")
+}
+
+func TestInvariantChecksDetectOrphanWaiters(t *testing.T) {
+	g := checkedGPU(t) // fresh GPU: every L2 MSHR slot is unallocated
+	r := g.pool.Get()
+	r.App, r.SM, r.Addr = 0, 0, 0x12340080
+	p := g.parts[0]
+	p.toMC = append(p.toMC, r)
+	p.waiters[0] = append(p.waiters[0][:0], r) // the bug: waiters without an MSHR
+	expectViolation(t, g, "mshr-agreement")
+}
+
+func TestInvariantChecksDetectCounterRollback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped with -short")
+	}
+	g := checkedGPU(t)
+	g.Run(10_000) // real traffic establishes non-zero sweep baselines
+	if g.ic.ReqSent == 0 {
+		t.Fatal("workload produced no interconnect traffic")
+	}
+	g.ic.ReqSent = 0 // the bug: a monotonic counter went backward
+	expectViolation(t, g, "monotonic")
+}
+
+// TestStepPanicsOnViolation verifies the periodic sweep inside step surfaces
+// a violation as a panic, so a checked simulation cannot silently keep
+// running on corrupted state.
+func TestStepPanicsOnViolation(t *testing.T) {
+	g := checkedGPU(t)
+	g.Run(1_000)
+	r := g.pool.Get()
+	r.App, r.SM = 0, 0
+	p := g.parts[0]
+	p.toMC = append(p.toMC, r, r)
+	defer func() {
+		v, ok := recover().(*InvariantViolation)
+		if !ok {
+			t.Fatalf("expected an *InvariantViolation panic, got %v", v)
+		}
+		if v.Check != "conservation" {
+			t.Fatalf("panic check %q, want conservation", v.Check)
+		}
+	}()
+	g.Run(checkEveryCycles) // guarantees at least one sweep
+	t.Fatal("step never swept the corrupted state")
+}

@@ -529,3 +529,115 @@ func (sm *SM) DeliverReply(r *memreq.Request, now uint64) {
 	}
 	sm.pool.Put(r)
 }
+
+// ForEachOutbox calls fn for every request accepted by the LSU but not yet
+// injected into the interconnect — the SM's contribution to the simulator's
+// live-request set.
+func (sm *SM) ForEachOutbox(fn func(*memreq.Request)) { sm.outbox.Do(fn) }
+
+// CheckInvariants cross-checks the SM's scheduling bookkeeping:
+//
+//   - outbox and runnable rings satisfy the ring structural contract;
+//   - every runnable entry is a distinct, in-range, non-free warp;
+//   - the free-slot stack is duplicate-free and lists exactly the warps in
+//     the free state;
+//   - every non-empty L1 waiter list sits on an allocated MSHR whose merge
+//     count matches the list length, every allocated MSHR has waiters, and
+//     the L1's own MSHR views agree.
+//
+// It is O(warps + MSHRs) and mutates nothing; meant for debug runs under
+// sim.WithInvariantChecks, not the per-cycle hot path.
+func (sm *SM) CheckInvariants() error {
+	if err := sm.outbox.CheckInvariants(func(r *memreq.Request) bool { return r == nil }); err != nil {
+		return fmt.Errorf("smcore %d outbox: %w", sm.ID, err)
+	}
+	if err := sm.runnable.CheckInvariants(func(v int32) bool { return v == 0 }); err != nil {
+		return fmt.Errorf("smcore %d runnable: %w", sm.ID, err)
+	}
+	var rerr error
+	queued := make([]bool, len(sm.warps))
+	sm.runnable.Do(func(v int32) {
+		wi := int(v)
+		switch {
+		case wi < 0 || wi >= len(sm.warps):
+			rerr = fmt.Errorf("smcore %d: runnable warp %d out of range", sm.ID, wi)
+		case queued[wi]:
+			rerr = fmt.Errorf("smcore %d: warp %d on the runnable queue twice", sm.ID, wi)
+		case sm.warps[wi].state == warpFree:
+			rerr = fmt.Errorf("smcore %d: free warp %d on the runnable queue", sm.ID, wi)
+		default:
+			queued[wi] = true
+		}
+	})
+	if rerr != nil {
+		return rerr
+	}
+	var outerr error
+	sm.outbox.Do(func(r *memreq.Request) {
+		if outerr != nil {
+			return
+		}
+		switch {
+		case r == nil:
+			outerr = fmt.Errorf("smcore %d: nil request in outbox", sm.ID)
+		case r.SM != sm.ID:
+			outerr = fmt.Errorf("smcore %d: outbox request %v stamped for SM %d", sm.ID, r, r.SM)
+		}
+	})
+	if outerr != nil {
+		return outerr
+	}
+	free := make([]bool, len(sm.warps))
+	for _, wi := range sm.freeSlots {
+		if wi < 0 || wi >= len(sm.warps) {
+			return fmt.Errorf("smcore %d: free slot %d out of range", sm.ID, wi)
+		}
+		if free[wi] {
+			return fmt.Errorf("smcore %d: warp %d on the free stack twice", sm.ID, wi)
+		}
+		free[wi] = true
+		if sm.warps[wi].state != warpFree {
+			return fmt.Errorf("smcore %d: warp %d on the free stack in state %d", sm.ID, wi, sm.warps[wi].state)
+		}
+	}
+	nFree := 0
+	for i := range sm.warps {
+		if sm.warps[i].state == warpFree {
+			nFree++
+			if !free[i] {
+				return fmt.Errorf("smcore %d: free warp %d missing from the free stack", sm.ID, i)
+			}
+		}
+	}
+	if nFree != len(sm.freeSlots) {
+		return fmt.Errorf("smcore %d: %d free warps but %d free slots", sm.ID, nFree, len(sm.freeSlots))
+	}
+	nonEmpty := 0
+	for slot, ws := range sm.waiters {
+		if len(ws) == 0 {
+			continue
+		}
+		nonEmpty++
+		if _, ok := sm.l1.MSHRAddr(slot); !ok {
+			return fmt.Errorf("smcore %d: %d waiters on unallocated L1 MSHR slot %d", sm.ID, len(ws), slot)
+		}
+		if want := sm.l1.MSHRMerged(slot) + 1; want != len(ws) {
+			return fmt.Errorf("smcore %d: L1 MSHR slot %d merge count says %d waiters, list holds %d", sm.ID, slot, want, len(ws))
+		}
+		for _, wi := range ws {
+			if int(wi) < 0 || int(wi) >= len(sm.warps) {
+				return fmt.Errorf("smcore %d: L1 MSHR slot %d waiter warp %d out of range", sm.ID, slot, wi)
+			}
+			if sm.warps[wi].state == warpFree {
+				return fmt.Errorf("smcore %d: free warp %d waiting on L1 MSHR slot %d", sm.ID, wi, slot)
+			}
+		}
+	}
+	if inUse := sm.l1.MSHRsInUse(); nonEmpty != inUse {
+		return fmt.Errorf("smcore %d: %d allocated L1 MSHRs but %d non-empty waiter lists", sm.ID, inUse, nonEmpty)
+	}
+	if err := sm.l1.CheckInvariants(); err != nil {
+		return fmt.Errorf("smcore %d: %w", sm.ID, err)
+	}
+	return nil
+}

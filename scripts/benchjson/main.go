@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"regexp"
@@ -42,25 +43,15 @@ type Entry struct {
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
 
-func main() {
-	out := flag.String("out", "BENCH_cycles.json", "trajectory file to append to")
-	note := flag.String("note", "", "free-form label for this entry")
-	commit := flag.String("commit", "", "commit id (default: git rev-parse --short HEAD)")
-	flag.Parse()
-
-	if *commit == "" {
-		if b, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
-			*commit = strings.TrimSpace(string(b))
-		} else {
-			*commit = "unknown"
-		}
-	}
-
+// parseBench scans `go test -bench` output, echoing every line to echo (so
+// the caller still sees the run) and averaging each benchmark's repetitions.
+// It errors when the stream held no benchmark lines at all.
+func parseBench(r io.Reader, echo io.Writer) (map[string]BenchStats, error) {
 	sums := map[string]*BenchStats{}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line) // pass through so the caller still sees the run
+		fmt.Fprintln(echo, line)
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
@@ -77,44 +68,74 @@ func main() {
 		s.Runs++
 	}
 	if err := sc.Err(); err != nil {
-		fatal("read stdin: %v", err)
+		return nil, fmt.Errorf("read bench output: %w", err)
 	}
 	if len(sums) == 0 {
-		fatal("no benchmark lines found on stdin")
+		return nil, fmt.Errorf("no benchmark lines found")
 	}
-
-	entry := Entry{
-		Date:       time.Now().UTC().Format("2006-01-02"),
-		Commit:     *commit,
-		Note:       *note,
-		Benchmarks: map[string]BenchStats{},
-	}
+	avg := make(map[string]BenchStats, len(sums))
 	for name, s := range sums {
 		n := float64(s.Runs)
-		entry.Benchmarks[name] = BenchStats{
+		avg[name] = BenchStats{
 			NsPerOp:     round1(s.NsPerOp / n),
 			BytesPerOp:  round1(s.BytesPerOp / n),
 			AllocsPerOp: round1(s.AllocsPerOp / n),
 			Runs:        s.Runs,
 		}
 	}
+	return avg, nil
+}
 
+// appendEntry loads the trajectory file (absent is an empty history), appends
+// the entry, and writes the array back. Malformed existing JSON is an error —
+// the history is never silently truncated.
+func appendEntry(path string, entry Entry) ([]Entry, error) {
 	var entries []Entry
-	if data, err := os.ReadFile(*out); err == nil {
+	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &entries); err != nil {
-			fatal("parse %s: %v", *out, err)
+			return nil, fmt.Errorf("parse %s: %w", path, err)
 		}
 	} else if !os.IsNotExist(err) {
-		fatal("read %s: %v", *out, err)
+		return nil, fmt.Errorf("read %s: %w", path, err)
 	}
 	entries = append(entries, entry)
 
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
-		fatal("marshal: %v", err)
+		return nil, fmt.Errorf("marshal: %w", err)
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		fatal("write %s: %v", *out, err)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("write %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_cycles.json", "trajectory file to append to")
+	note := flag.String("note", "", "free-form label for this entry")
+	commit := flag.String("commit", "", "commit id (default: git rev-parse --short HEAD)")
+	flag.Parse()
+
+	if *commit == "" {
+		if b, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+			*commit = strings.TrimSpace(string(b))
+		} else {
+			*commit = "unknown"
+		}
+	}
+
+	benchmarks, err := parseBench(os.Stdin, os.Stdout)
+	if err != nil {
+		fatal("%v", err)
+	}
+	entry := Entry{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Commit:     *commit,
+		Note:       *note,
+		Benchmarks: benchmarks,
+	}
+	if _, err := appendEntry(*out, entry); err != nil {
+		fatal("%v", err)
 	}
 
 	names := make([]string, 0, len(entry.Benchmarks))

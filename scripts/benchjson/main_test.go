@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: dasesim
+BenchmarkGPUCycle-8       	     100	   1000.0 ns/op	     120 B/op	       3 allocs/op
+BenchmarkGPUCycle-8       	     100	   3000.0 ns/op	     240 B/op	       5 allocs/op
+BenchmarkSharedPair-8     	      50	   2500.5 ns/op
+PASS
+ok  	dasesim	1.234s
+`
+
+func TestParseBenchAverages(t *testing.T) {
+	var echo strings.Builder
+	got, err := parseBench(strings.NewReader(sampleBench), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echo.String() != sampleBench {
+		t.Error("parseBench did not echo the input verbatim")
+	}
+	cyc, ok := got["GPUCycle"]
+	if !ok {
+		t.Fatalf("GPUCycle missing from %v", got)
+	}
+	if cyc.Runs != 2 || cyc.NsPerOp != 2000.0 || cyc.BytesPerOp != 180.0 || cyc.AllocsPerOp != 4.0 {
+		t.Errorf("GPUCycle averaged to %+v, want 2 runs / 2000 ns / 180 B / 4 allocs", cyc)
+	}
+	// A line without -benchmem columns parses with zero B/op and allocs/op.
+	pair, ok := got["SharedPair"]
+	if !ok {
+		t.Fatalf("SharedPair missing from %v", got)
+	}
+	if pair.Runs != 1 || pair.NsPerOp != 2500.5 || pair.BytesPerOp != 0 || pair.AllocsPerOp != 0 {
+		t.Errorf("SharedPair parsed as %+v", pair)
+	}
+}
+
+func TestParseBenchRejectsEmptyStream(t *testing.T) {
+	_, err := parseBench(strings.NewReader("PASS\nok dasesim 0.1s\n"), io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "no benchmark lines") {
+		t.Fatalf("expected a no-benchmark-lines error, got %v", err)
+	}
+}
+
+func TestAppendEntryGrowsHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	first := Entry{Date: "2026-01-01", Commit: "aaaa", Benchmarks: map[string]BenchStats{
+		"GPUCycle": {NsPerOp: 100, Runs: 5},
+	}}
+	if _, err := appendEntry(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := Entry{Date: "2026-02-01", Commit: "bbbb", Note: "after refactor", Benchmarks: map[string]BenchStats{
+		"GPUCycle": {NsPerOp: 90, Runs: 5},
+	}}
+	got, err := appendEntry(path, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("history has %d entries, want 2", len(got))
+	}
+
+	// The file round-trips: oldest first, all fields preserved.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk []Entry
+	if err := json.Unmarshal(data, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if onDisk[0].Commit != "aaaa" || onDisk[1].Commit != "bbbb" {
+		t.Errorf("history order wrong: %+v", onDisk)
+	}
+	if onDisk[1].Note != "after refactor" {
+		t.Errorf("note lost: %+v", onDisk[1])
+	}
+	if onDisk[1].Benchmarks["GPUCycle"].NsPerOp != 90 {
+		t.Errorf("benchmark stats lost: %+v", onDisk[1])
+	}
+}
+
+func TestAppendEntryRejectsMalformedHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := appendEntry(path, Entry{Date: "2026-01-01"}); err == nil {
+		t.Fatal("appendEntry accepted a corrupt history file")
+	}
+	// The corrupt file is untouched, not truncated.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{not json" {
+		t.Errorf("corrupt history was rewritten to %q", data)
+	}
+}
+
+func TestRound1(t *testing.T) {
+	for _, tc := range []struct{ in, want float64 }{
+		{1.24, 1.2}, {1.25, 1.3}, {0, 0}, {1999.96, 2000.0},
+	} {
+		if got := round1(tc.in); got != tc.want {
+			t.Errorf("round1(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

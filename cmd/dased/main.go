@@ -8,11 +8,13 @@
 //	dased -addr :9000 -workers 8 -queue 128
 //	dased -config gpu.json -kernels custom.json
 //	dased -journal dased.wal -max-retries 3   # crash-safe job journal
+//	dased -trace-dir traces -log-format json  # per-job Chrome traces
 //
 // Example session:
 //
 //	curl -s localhost:8844/v1/jobs -d '{"kernels":["SB","SD"],"slowdowns":true}'
 //	curl -s localhost:8844/v1/jobs/job-1?wait_ms=30000
+//	curl -s localhost:8844/v1/jobs/job-1/trace?format=ndjson
 //	curl -s localhost:8844/metrics
 //
 // SIGINT/SIGTERM trigger a graceful shutdown that drains queued and running
@@ -23,9 +25,11 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -51,7 +55,26 @@ func main() {
 	snapRetention := flag.Int("snapshot-retention", 0, "interval snapshots kept per result (0: 4096, negative: unlimited)")
 	checkInvariants := flag.Bool("check-invariants", false, "run the engine's periodic invariant sweep in every simulation (debug; a violation fails the job)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+	logFormat := flag.String("log-format", "text", "log output format: text | json")
+	traceEvents := flag.Int("trace-events", 0, "per-job trace ring capacity in events; 0 disables tracing unless -trace-dir is set")
+	traceDir := flag.String("trace-dir", "", "write each finished job's Chrome trace JSON into this directory (implies tracing)")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "dased: unknown -log-format %q (text | json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	opts := server.Options{
 		Workers:           *workers,
@@ -65,6 +88,9 @@ func main() {
 		ShedHighWater:     *shedHighWater,
 		SnapshotRetention: *snapRetention,
 		CheckInvariants:   *checkInvariants,
+		Logger:            logger,
+		TraceEvents:       *traceEvents,
+		TraceDir:          *traceDir,
 	}
 	// In Options, 0 retries means "use the default"; on the command line an
 	// explicit 0 means none.
@@ -74,21 +100,21 @@ func main() {
 	if *configPath != "" {
 		cfg, err := dasesim.LoadConfig(*configPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal("load config", err)
 		}
 		opts.Cfg = cfg
 	}
 	if *kernelsPath != "" {
 		catalogue, err := dasesim.LoadKernels(*kernelsPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal("load kernels", err)
 		}
 		opts.Catalogue = catalogue
 	}
 
 	srv, err := server.New(opts)
 	if err != nil {
-		log.Fatal(err)
+		fatal("server init", err)
 	}
 	srv.Start()
 
@@ -102,9 +128,9 @@ func main() {
 		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
-			log.Printf("dased pprof listening on %s", *debugAddr)
+			logger.Info("pprof listening", "addr", *debugAddr)
 			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
-				log.Printf("dased pprof server: %v", err)
+				logger.Error("pprof server failed", "err", err)
 			}
 		}()
 	}
@@ -126,22 +152,22 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("dased listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		fatal("http server", err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("dased shutting down; draining jobs (grace %s)", *drainGrace)
+	logger.Info("shutting down; draining jobs", "grace", *drainGrace)
 	grace, cancel := context.WithTimeout(context.Background(), *drainGrace)
 	defer cancel()
 	if err := httpSrv.Shutdown(grace); err != nil {
-		log.Printf("dased http shutdown: %v", err)
+		logger.Error("http shutdown failed", "err", err)
 	}
 	if err := srv.Shutdown(grace); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("dased drain: %v", err)
+		logger.Error("drain failed", "err", err)
 	}
-	log.Printf("dased stopped")
+	logger.Info("stopped")
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dasesim/internal/config"
+	"dasesim/internal/kernels"
+	"dasesim/internal/sched"
+	"dasesim/internal/sim"
+	"dasesim/internal/telemetry"
+)
+
+// TestRenderFromTracedRun drives a small DASE-Fair simulation with tracing
+// and checks the rendered timeline end to end.
+func TestRenderFromTracedRun(t *testing.T) {
+	profs := make([]kernels.Profile, 0, 2)
+	for _, ab := range []string{"VA", "CT"} {
+		p, ok := kernels.ByAbbr(ab)
+		if !ok {
+			t.Fatalf("kernel %s missing from the catalogue", ab)
+		}
+		profs = append(profs, p)
+	}
+	tr := telemetry.New(0)
+	_, err := sched.Run(config.Default(), profs, []int{8, 8}, 160_000, 5,
+		sched.NewDASEFair(), sim.WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+
+	out, err := render(events, []float64{1.5, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"app 0", "app 1", "actual slowdown 1.500", "actual slowdown 2.000", "mean|err|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "|") {
+		t.Error("no error bars rendered")
+	}
+
+	// Without any ground truth the timeline still renders, errors unknown.
+	out, err = render(events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no measured slowdown") {
+		t.Errorf("expected the no-actual notice:\n%s", out)
+	}
+}
+
+func TestRenderNoEvents(t *testing.T) {
+	if _, err := render(nil, nil); err == nil {
+		t.Fatal("want an error for an empty trace")
+	}
+}
+
+func TestParseActuals(t *testing.T) {
+	got, err := parseActuals(" 1.5, 2.25 ")
+	if err != nil || len(got) != 2 || got[0] != 1.5 || got[1] != 2.25 {
+		t.Fatalf("parseActuals = %v, %v", got, err)
+	}
+	if v, err := parseActuals(""); v != nil || err != nil {
+		t.Fatalf("empty = %v, %v", v, err)
+	}
+	if _, err := parseActuals("1.5,x"); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestErrBar(t *testing.T) {
+	cases := []struct {
+		err  float64
+		want string
+	}{
+		{0, "|"},
+		{0.05, "|>"},
+		{-0.12, "<<|"},
+		{3, "|>>>>>>>>>>"},
+	}
+	for _, c := range cases {
+		if got := errBar(c.err); got != c.want {
+			t.Errorf("errBar(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}

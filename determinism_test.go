@@ -31,6 +31,7 @@ import (
 	"dasesim/internal/faults"
 	"dasesim/internal/sched"
 	"dasesim/internal/sim"
+	"dasesim/internal/telemetry"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/determinism_golden.json with the current engine's fingerprints")
@@ -174,6 +175,58 @@ func TestInvariantChecksGolden(t *testing.T) {
 			}
 			if fp != want {
 				t.Errorf("fingerprint mismatch with invariant checks on: got %s want %s\nchecking must be observation-only", fp, want)
+			}
+		})
+	}
+}
+
+// TestTracingGolden reruns every determinism scenario with the event tracer
+// attached and requires the recorded golden fingerprint: tracing must be
+// observation-only — enabling it cannot change a single byte of any result —
+// while still capturing the engine's interval and (for the DASE-Fair case)
+// estimator events.
+func TestTracingGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped with -short")
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read %s: %v (regenerate with -update-golden)", goldenPath, err)
+	}
+	golden := map[string]string{}
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+	for _, c := range detCases() {
+		c := c
+		tr := telemetry.New(0)
+		c.opts = append(c.opts, sim.WithTracer(tr))
+		t.Run(c.name, func(t *testing.T) {
+			fp := fingerprint(t, c.run(t, c))
+			want, ok := golden[c.name]
+			if !ok {
+				t.Fatalf("no golden fingerprint for %q", c.name)
+			}
+			if fp != want {
+				t.Errorf("fingerprint mismatch with tracing on: got %s want %s\ntracing must be observation-only", fp, want)
+			}
+			if tr.Len() == 0 {
+				t.Fatal("traced run emitted no events")
+			}
+			kinds := map[telemetry.Kind]int{}
+			for _, e := range tr.Events() {
+				kinds[e.Kind]++
+			}
+			if kinds[telemetry.KindInterval] == 0 {
+				t.Error("no interval events traced")
+			}
+			if c.name == "pair-VA-CT-dasefair" {
+				if kinds[telemetry.KindDASEApp] == 0 {
+					t.Error("DASE-Fair run traced no dase.app events")
+				}
+				if kinds[telemetry.KindSchedDecision] == 0 {
+					t.Error("DASE-Fair run traced no sched.decision events")
+				}
 			}
 		})
 	}

@@ -40,25 +40,23 @@ func (p *DASEPerf) OnInterval(g *sim.GPU, snap *sim.IntervalSnapshot) {
 	if p.intervals <= p.WarmupIntervals {
 		return
 	}
-	slow := p.Est.Estimate(snap)
+	slow := tracedEstimates(p.Est, g, snap, p.Name())
 	cur := make([]int, len(snap.Apps))
 	for i := range snap.Apps {
 		cur[i] = snap.Apps[i].SMs
 	}
 	best, bestWS := searchBestThroughput(slow, cur, snap.NumSMs, p.MinSMs)
-	if best == nil {
-		return
-	}
 	curWS := estimatedWeightedSpeedup(slow, cur, cur, snap.NumSMs)
-	if bestWS <= curWS*(1+p.ImprovementThreshold) {
-		return
+	realloc := best != nil &&
+		bestWS > curWS*(1+p.ImprovementThreshold) &&
+		!equalInts(best, cur)
+	if realloc {
+		realloc = g.SetAllocation(best) == nil
+		if realloc {
+			p.Reallocations++
+		}
 	}
-	if equalInts(best, cur) {
-		return
-	}
-	if err := g.SetAllocation(best); err == nil {
-		p.Reallocations++
-	}
+	emitDecision(g.Tracer(), snap, p.Name(), curWS, bestWS, best, realloc)
 }
 
 // estimatedWeightedSpeedup predicts Σ reciprocal for a candidate allocation

@@ -11,6 +11,7 @@ import (
 	"dasesim/internal/core"
 	"dasesim/internal/kernels"
 	"dasesim/internal/sim"
+	"dasesim/internal/telemetry"
 )
 
 // Policy reacts to interval snapshots and may re-partition the SMs.
@@ -121,25 +122,69 @@ func (p *DASEFair) OnInterval(g *sim.GPU, snap *sim.IntervalSnapshot) {
 	if p.intervals <= p.WarmupIntervals {
 		return
 	}
-	slow := p.Est.Estimate(snap)
+	slow := tracedEstimates(p.Est, g, snap, p.Name())
 	cur := make([]int, len(snap.Apps))
 	for i := range snap.Apps {
 		cur[i] = snap.Apps[i].SMs
 	}
 	best, bestUnf := SearchBestPartition(slow, cur, snap.NumSMs, p.MinSMs)
 	curUnf := estimatedUnfairness(slow, cur, cur, snap.NumSMs)
-	if best == nil {
+	realloc := best != nil &&
+		bestUnf < curUnf*(1-p.ImprovementThreshold) &&
+		!equalInts(best, cur)
+	if realloc {
+		realloc = g.SetAllocation(best) == nil
+		if realloc {
+			p.Reallocations++
+		}
+	}
+	emitDecision(g.Tracer(), snap, p.Name(), curUnf, bestUnf, best, realloc)
+}
+
+// tracedEstimates runs the interval's DASE estimation, emitting one dase.app
+// event per application when tracing is enabled. Estimate delegates to
+// EstimateDetailed, so the traced and untraced paths compute identical
+// numbers — tracing cannot perturb scheduling decisions.
+func tracedEstimates(est *core.DASE, g *sim.GPU, snap *sim.IntervalSnapshot, policy string) []float64 {
+	tr := g.Tracer()
+	if tr == nil {
+		return est.Estimate(snap)
+	}
+	det := est.EstimateDetailed(snap)
+	slow := make([]float64, len(det))
+	for i := range det {
+		slow[i] = det[i].Slowdown
+		tr.Emit(telemetry.Event{
+			Kind: telemetry.KindDASEApp, Cycle: snap.Cycle,
+			App: int32(i), SM: -1, Note: policy,
+			Alpha: det[i].Alpha, BLP: snap.Apps[i].BLP,
+			TimeBank: det[i].TimeBank, TimeRow: det[i].TimeRow,
+			TimeLLC: det[i].TimeLLC, MBB: det[i].MBB,
+			Est: det[i].Slowdown, SMs: int32(snap.Apps[i].SMs),
+		})
+	}
+	return slow
+}
+
+// emitDecision records one partition-search outcome (nil-tracer safe). best
+// may be nil when the search found no feasible partition.
+func emitDecision(tr *telemetry.Tracer, snap *sim.IntervalSnapshot, policy string, curScore, bestScore float64, best []int, realloc bool) {
+	if tr == nil {
 		return
 	}
-	if bestUnf >= curUnf*(1-p.ImprovementThreshold) {
-		return
+	e := telemetry.Event{
+		Kind: telemetry.KindSchedDecision, Cycle: snap.Cycle,
+		App: -1, SM: -1, Note: policy,
+		CurScore: curScore, BestScore: bestScore, Realloc: realloc,
 	}
-	if equalInts(best, cur) {
-		return
+	for i, n := range best {
+		if i >= telemetry.MaxApps {
+			break
+		}
+		e.Alloc[i] = int32(n)
+		e.NApps = int32(i + 1)
 	}
-	if err := g.SetAllocation(best); err == nil {
-		p.Reallocations++
-	}
+	tr.Emit(e)
 }
 
 func equalInts(a, b []int) bool {

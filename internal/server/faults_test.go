@@ -2,7 +2,7 @@ package server
 
 import (
 	"io"
-	"log"
+	"log/slog"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -18,7 +18,7 @@ import (
 func newFaultServer(t *testing.T, opts Options) (*Server, *faults.Registry) {
 	t.Helper()
 	if opts.Logger == nil {
-		opts.Logger = log.New(io.Discard, "", 0)
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	if opts.JobTimeout == 0 {
 		opts.JobTimeout = time.Minute

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"dasesim/internal/telemetry"
 )
 
 // errQueueFull, errShed, errDraining, and errJournal classify submission
@@ -19,18 +21,20 @@ var (
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST   /v1/jobs        submit a job (202, body: job view)
-//	GET    /v1/jobs        list job views, newest last
-//	GET    /v1/jobs/{id}   one job view (?wait_ms=N long-polls completion)
-//	DELETE /v1/jobs/{id}   cancel a queued or running job
-//	GET    /v1/kernels     the kernel catalogue
-//	GET    /healthz        liveness probe
-//	GET    /metrics        Prometheus text metrics
+//	POST   /v1/jobs              submit a job (202, body: job view)
+//	GET    /v1/jobs              list job views, newest last
+//	GET    /v1/jobs/{id}         one job view (?wait_ms=N long-polls completion)
+//	GET    /v1/jobs/{id}/trace   the job's event trace (?format=chrome|ndjson)
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /v1/kernels           the kernel catalogue
+//	GET    /healthz              liveness probe
+//	GET    /metrics              Prometheus text metrics
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/kernels", s.handleKernels)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -49,14 +53,21 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// logMiddleware emits one structured line per request.
+// logMiddleware emits one structured line per request, carrying the job id
+// for job-scoped routes.
 func (s *Server) logMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(rec, r)
-		s.logf("method=%s path=%s status=%d dur=%s",
-			r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+		attrs := []any{
+			"method", r.Method, "path", r.URL.Path,
+			"status", rec.status, "dur", time.Since(start).Round(time.Microsecond),
+		}
+		if id := r.PathValue("id"); id != "" {
+			attrs = append(attrs, "job", id)
+		}
+		s.opts.Logger.Info("request", attrs...)
 	})
 }
 
@@ -64,20 +75,20 @@ func (s *Server) logMiddleware(next http.Handler) http.Handler {
 // connection, an unmarshalable value) are logged rather than silently
 // dropped — by then the status line is already on the wire, so logging is
 // all that is left to do.
-func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		s.logf("write json status=%d: %v", status, err)
+		s.opts.Logger.Error("write json failed", "path", r.URL.Path, "status", status, "err", err)
 	}
 }
 
 // writeError renders a JSON error body that names the request path, so a
 // client juggling several in-flight calls can tell which one failed.
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
-	s.writeJSON(w, status, map[string]string{"error": msg, "path": r.URL.Path})
+	s.writeJSON(w, r, status, map[string]string{"error": msg, "path": r.URL.Path})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -102,7 +113,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		v := job.view()
 		s.mu.Unlock()
-		s.writeJSON(w, http.StatusAccepted, v)
+		s.writeJSON(w, r, http.StatusAccepted, v)
 	}
 }
 
@@ -115,7 +126,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
-	s.writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"jobs": views})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -144,7 +155,38 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	v := job.view()
 	s.mu.Unlock()
-	s.writeJSON(w, http.StatusOK, v)
+	s.writeJSON(w, r, http.StatusOK, v)
+}
+
+// handleTrace serves a job's event trace: Chrome trace-event JSON by default
+// (loadable in chrome://tracing or Perfetto), NDJSON with ?format=ndjson
+// (consumable by cmd/dasetrace).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.getJob(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound, "no such job")
+		return
+	}
+	if job.tracer == nil {
+		s.writeError(w, r, http.StatusNotFound, "tracing disabled; start the server with trace events enabled")
+		return
+	}
+	events := job.tracer.Events()
+	var err error
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		err = telemetry.WriteChromeTrace(w, events)
+	case "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		err = telemetry.WriteNDJSON(w, events)
+	default:
+		s.writeError(w, r, http.StatusBadRequest, "unknown format "+strconv.Quote(format)+" (chrome | ndjson)")
+		return
+	}
+	if err != nil {
+		s.opts.Logger.Error("write trace failed", "job", job.ID, "err", err)
+	}
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -156,7 +198,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	case !canceled:
 		s.writeError(w, r, http.StatusConflict, "job already finished")
 	default:
-		s.writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "canceling"})
+		s.writeJSON(w, r, http.StatusOK, map[string]string{"id": id, "status": "canceling"})
 	}
 }
 
@@ -170,7 +212,7 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 	for _, p := range s.opts.Catalogue {
 		out = append(out, kernelView{Abbr: p.Abbr, Name: p.Name, PaperBW: p.PaperBW})
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"kernels": out})
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"kernels": out})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -183,7 +225,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	s.writeJSON(w, code, map[string]any{
+	s.writeJSON(w, r, code, map[string]any{
 		"status":   status,
 		"uptime_s": time.Since(s.metrics.start).Seconds(),
 	})

@@ -7,6 +7,7 @@ import (
 
 	"dasesim/internal/kernels"
 	"dasesim/internal/sim"
+	"dasesim/internal/telemetry"
 )
 
 // Status is a job's lifecycle state.
@@ -85,6 +86,10 @@ type Job struct {
 	plan   plan
 	cancel context.CancelFunc
 	done   chan struct{}
+	// tracer is non-nil when the server traces jobs. It is assigned once at
+	// submission (or replay) before the job is visible and is internally
+	// concurrency-safe, so reading it needs no lock.
+	tracer *telemetry.Tracer
 }
 
 // JobView is the JSON representation of a job returned by the API.

@@ -1,90 +1,117 @@
 package server
 
 import (
-	"fmt"
 	"io"
-	"math"
-	"sync/atomic"
+	"runtime"
+	"runtime/debug"
+	"strconv"
 	"time"
+
+	"dasesim/internal/telemetry"
 )
 
-// Metrics aggregates the daemon's observability counters and renders them in
-// Prometheus text exposition format. Counters are atomics so job workers
-// never contend; gauges that mirror live state (queue depth, cache fill) are
-// read through callbacks at scrape time.
+// Metrics aggregates the daemon's observability signals on a
+// telemetry.Registry: counters and histograms updated by job workers without
+// contention, plus scrape-time callbacks mirroring live state (queue depth,
+// cache fill, journal size). Exposed names are stable across the move from
+// the old hand-rolled exposition code; the dased_job_wall_seconds summary
+// became the dased_job_duration_seconds histogram.
 type Metrics struct {
 	start time.Time
+	reg   *telemetry.Registry
 
-	jobsSubmitted atomic.Uint64
-	jobsCompleted atomic.Uint64
-	jobsFailed    atomic.Uint64
-	jobsCanceled  atomic.Uint64
-	jobsRejected  atomic.Uint64 // queue-full 429s
-	jobsShed      atomic.Uint64 // admission control: non-cached work refused over the high-water mark
-	jobRetries    atomic.Uint64 // transient failures scheduled for another attempt
-	jobsRunning   atomic.Int64
+	jobsSubmitted *telemetry.Counter
+	jobsCompleted *telemetry.Counter
+	jobsFailed    *telemetry.Counter
+	jobsCanceled  *telemetry.Counter
+	jobsRejected  *telemetry.Counter // queue-full 429s
+	jobsShed      *telemetry.Counter // admission control: non-cached work refused over the high-water mark
+	jobRetries    *telemetry.Counter // transient failures scheduled for another attempt
+	jobsRunning   *telemetry.Gauge
 
-	journalReplayed    atomic.Uint64 // jobs restored from the journal at startup
-	journalErrors      atomic.Uint64 // journal appends/compactions that failed
-	journalCompactions atomic.Uint64
+	journalReplayed    *telemetry.Counter // jobs restored from the journal at startup
+	journalErrors      *telemetry.Counter // journal appends/compactions that failed
+	journalCompactions *telemetry.Counter
 
-	simCycles atomic.Uint64 // cycles actually simulated (cache hits excluded)
+	simCycles *telemetry.Counter // cycles actually simulated (cache hits excluded)
 
-	jobSeconds atomic.Uint64 // float64 bits; total wall time of finished jobs
-	jobCount   atomic.Uint64
-
-	queueDepth     func() int
-	cacheStats     func() (hits, misses, evictions uint64, entries int)
-	journalRecords func() int // nil when no journal is configured
+	queueWait   *telemetry.Histogram // submission to first execution
+	jobDuration *telemetry.Histogram // wall time of finished jobs
+	estError    *telemetry.Histogram // |est-actual|/actual per DASE interval
 }
 
 func newMetrics(queueDepth func() int, cacheStats func() (uint64, uint64, uint64, int)) *Metrics {
-	return &Metrics{start: time.Now(), queueDepth: queueDepth, cacheStats: cacheStats}
+	reg := telemetry.NewRegistry()
+	m := &Metrics{start: time.Now(), reg: reg}
+
+	m.jobsSubmitted = reg.Counter("dased_jobs_submitted_total", "Jobs accepted into the queue.")
+	m.jobsCompleted = reg.Counter("dased_jobs_completed_total", "Jobs finished successfully.")
+	m.jobsFailed = reg.Counter("dased_jobs_failed_total", "Jobs that errored, timed out or panicked.")
+	m.jobsCanceled = reg.Counter("dased_jobs_canceled_total", "Jobs canceled by clients.")
+	m.jobsRejected = reg.Counter("dased_jobs_rejected_total", "Submissions rejected with 429 (queue full).")
+	m.jobsShed = reg.Counter("dased_jobs_shed_total", "Non-cached submissions shed over the queue high-water mark.")
+	m.jobRetries = reg.Counter("dased_job_retries_total", "Job attempts rescheduled after a transient failure.")
+	m.jobsRunning = reg.Gauge("dased_jobs_running", "Jobs currently executing.")
+
+	m.journalReplayed = reg.Counter("dased_journal_replayed_total", "Jobs restored from the journal at startup.")
+	m.journalErrors = reg.Counter("dased_journal_errors_total", "Journal operations that failed.")
+	m.journalCompactions = reg.Counter("dased_journal_compactions_total", "Journal snapshot rewrites.")
+
+	m.simCycles = reg.Counter("dased_sim_cycles_total", "GPU cycles simulated (cache hits excluded).")
+
+	m.queueWait = reg.Histogram("dased_queue_wait_seconds",
+		"Time jobs spent queued before their first execution attempt.",
+		0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60)
+	m.jobDuration = reg.Histogram("dased_job_duration_seconds",
+		"Wall time of finished jobs.",
+		0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60)
+	m.estError = reg.Histogram("dased_estimation_error",
+		"Per-interval relative error of the DASE slowdown estimate against the measured slowdown.",
+		0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1)
+
+	reg.GaugeFunc("dased_queue_depth", "Jobs waiting in the queue.",
+		func() float64 { return float64(queueDepth()) })
+	reg.CounterFunc("dased_cache_hits_total", "Result-cache lookups served without simulating.",
+		func() float64 { h, _, _, _ := cacheStats(); return float64(h) })
+	reg.CounterFunc("dased_cache_misses_total", "Result-cache lookups that simulated.",
+		func() float64 { _, mi, _, _ := cacheStats(); return float64(mi) })
+	reg.CounterFunc("dased_cache_evictions_total", "Result-cache entries evicted by the size bound.",
+		func() float64 { _, _, e, _ := cacheStats(); return float64(e) })
+	reg.GaugeFunc("dased_cache_entries", "Resident result-cache entries.",
+		func() float64 { _, _, _, n := cacheStats(); return float64(n) })
+	reg.GaugeFunc("dased_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+
+	buildInfo := reg.GaugeVec("dased_build_info",
+		"Build metadata; the value is always 1.",
+		"go_version", "module_version", "gomaxprocs")
+	buildInfo.With(runtime.Version(), moduleVersion(), strconv.Itoa(runtime.GOMAXPROCS(0))).Set(1)
+
+	return m
+}
+
+// moduleVersion reports the main module's version from the embedded build
+// info ("(devel)" for plain go-build binaries, "unknown" in tests).
+func moduleVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
+// setJournalRecords exposes the journal's record count; called once when the
+// journal is opened so servers without one don't export the gauge.
+func (m *Metrics) setJournalRecords(fn func() int) {
+	m.reg.GaugeFunc("dased_journal_records", "Records in the journal file.",
+		func() float64 { return float64(fn()) })
 }
 
 // observeJob records one finished job's wall time.
 func (m *Metrics) observeJob(d time.Duration) {
-	for {
-		old := m.jobSeconds.Load()
-		next := math.Float64bits(math.Float64frombits(old) + d.Seconds())
-		if m.jobSeconds.CompareAndSwap(old, next) {
-			break
-		}
-	}
-	m.jobCount.Add(1)
+	m.jobDuration.Observe(d.Seconds())
 }
 
 // WritePrometheus renders all metrics in Prometheus text format.
 func (m *Metrics) WritePrometheus(w io.Writer) {
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
-	}
-	counter("dased_jobs_submitted_total", "Jobs accepted into the queue.", m.jobsSubmitted.Load())
-	counter("dased_jobs_completed_total", "Jobs finished successfully.", m.jobsCompleted.Load())
-	counter("dased_jobs_failed_total", "Jobs that errored, timed out or panicked.", m.jobsFailed.Load())
-	counter("dased_jobs_canceled_total", "Jobs canceled by clients.", m.jobsCanceled.Load())
-	counter("dased_jobs_rejected_total", "Submissions rejected with 429 (queue full).", m.jobsRejected.Load())
-	counter("dased_jobs_shed_total", "Non-cached submissions shed over the queue high-water mark.", m.jobsShed.Load())
-	counter("dased_job_retries_total", "Job attempts rescheduled after a transient failure.", m.jobRetries.Load())
-	counter("dased_journal_replayed_total", "Jobs restored from the journal at startup.", m.journalReplayed.Load())
-	counter("dased_journal_errors_total", "Journal operations that failed.", m.journalErrors.Load())
-	counter("dased_journal_compactions_total", "Journal snapshot rewrites.", m.journalCompactions.Load())
-	if m.journalRecords != nil {
-		gauge("dased_journal_records", "Records in the journal file.", float64(m.journalRecords()))
-	}
-	hits, misses, evictions, entries := m.cacheStats()
-	counter("dased_cache_hits_total", "Result-cache lookups served without simulating.", hits)
-	counter("dased_cache_misses_total", "Result-cache lookups that simulated.", misses)
-	counter("dased_cache_evictions_total", "Result-cache entries evicted by the size bound.", evictions)
-	gauge("dased_cache_entries", "Resident result-cache entries.", float64(entries))
-	gauge("dased_queue_depth", "Jobs waiting in the queue.", float64(m.queueDepth()))
-	gauge("dased_jobs_running", "Jobs currently executing.", float64(m.jobsRunning.Load()))
-	counter("dased_sim_cycles_total", "GPU cycles simulated (cache hits excluded).", m.simCycles.Load())
-	fmt.Fprintf(w, "# HELP dased_job_wall_seconds Total wall time of finished jobs.\n# TYPE dased_job_wall_seconds summary\n")
-	fmt.Fprintf(w, "dased_job_wall_seconds_sum %g\n", math.Float64frombits(m.jobSeconds.Load()))
-	fmt.Fprintf(w, "dased_job_wall_seconds_count %d\n", m.jobCount.Load())
-	gauge("dased_uptime_seconds", "Seconds since the server started.", time.Since(m.start).Seconds())
+	m.reg.WritePrometheus(w)
 }

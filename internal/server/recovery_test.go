@@ -5,7 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
-	"log"
+	"log/slog"
 	"path/filepath"
 	"testing"
 	"time"
@@ -98,7 +98,7 @@ func TestCrashRecoveryByteIdentical(t *testing.T) {
 		JobTimeout:    5 * time.Minute,
 		DefaultCycles: testCycles,
 		MaxCycles:     2_000_000_000,
-		Logger:        log.New(io.Discard, "", 0),
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
 	reqs := []JobRequest{
 		{Kernels: []string{"SB", "SD"}, Cycles: testCycles, Seed: 3}, // finishes pre-crash
@@ -246,7 +246,7 @@ func TestRestartRestoresTerminalStateOnly(t *testing.T) {
 		JournalPath:   jpath,
 		JobTimeout:    time.Minute,
 		DefaultCycles: testCycles,
-		Logger:        log.New(io.Discard, "", 0),
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
 	s, err := New(opts)
 	if err != nil {
@@ -315,7 +315,7 @@ func TestJournalCompactionHonorsMaxJobs(t *testing.T) {
 		JournalPath:   jpath,
 		JobTimeout:    time.Minute,
 		DefaultCycles: testCycles,
-		Logger:        log.New(io.Discard, "", 0),
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
 	s, err := New(opts)
 	if err != nil {

@@ -4,14 +4,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"time"
 
+	"dasesim/internal/core"
 	"dasesim/internal/faults"
 	"dasesim/internal/journal"
 	"dasesim/internal/metrics"
 	"dasesim/internal/sched"
 	"dasesim/internal/sim"
 	"dasesim/internal/simcache"
+	"dasesim/internal/telemetry"
 	"dasesim/internal/workload"
 )
 
@@ -55,7 +58,16 @@ func (s *Server) runJob(job *Job) {
 	ctx, cancel := context.WithTimeout(s.baseCtx, job.plan.timeout)
 	job.cancel = cancel
 	attempt := job.Attempts
+	queueWait := job.StartedAt.Sub(job.SubmittedAt)
 	s.mu.Unlock()
+
+	if attempt == 1 {
+		s.metrics.queueWait.Observe(queueWait.Seconds())
+	}
+	job.tracer.Emit(telemetry.Event{
+		Kind: telemetry.KindJobStarted, Wall: job.StartedAt.UnixNano(),
+		App: -1, SM: -1, Job: job.ID, Attempt: int32(attempt),
+	})
 
 	s.metrics.jobsRunning.Add(1)
 	defer s.metrics.jobsRunning.Add(-1)
@@ -83,7 +95,7 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 
-	res, cacheHit, err := s.execute(ctx, job.plan)
+	res, cacheHit, err := s.execute(ctx, job.plan, job.tracer)
 	s.finishJob(job, res, cacheHit, err)
 }
 
@@ -105,10 +117,16 @@ func (s *Server) finishJob(job *Job, res *JobResult, cacheHit bool, err error) {
 	case isTransient(err) && job.Attempts <= s.opts.MaxRetries && !s.draining:
 		job.Status = StatusQueued
 		job.LastError = err.Error()
-		delay := s.backoffLocked(job.Attempts)
+		attempt := job.Attempts
+		delay := s.backoffLocked(attempt)
 		s.metrics.jobRetries.Add(1)
 		s.mu.Unlock()
-		s.logf("job=%s attempt=%d retry_in=%s err=%q", job.ID, job.Attempts, delay.Round(time.Millisecond), err)
+		job.tracer.Emit(telemetry.Event{
+			Kind: telemetry.KindJobRetry, Wall: time.Now().UnixNano(),
+			App: -1, SM: -1, Job: job.ID, Attempt: int32(attempt), Note: err.Error(),
+		})
+		s.opts.Logger.Warn("job retry scheduled",
+			"job", job.ID, "attempt", attempt, "retry_in", delay.Round(time.Millisecond), "err", err)
 		s.requeueAfterBackoff(job, delay)
 		return
 	default:
@@ -118,7 +136,10 @@ func (s *Server) finishJob(job *Job, res *JobResult, cacheHit bool, err error) {
 	status, hit, attempts := job.Status, job.CacheHit, job.Attempts
 	s.mu.Unlock()
 	s.metrics.observeJob(wall)
-	s.logf("job=%s status=%s cache_hit=%t attempts=%d wall=%s", job.ID, status, hit, attempts, wall.Round(time.Millisecond))
+	s.writeTraceFile(job)
+	s.opts.Logger.Info("job finished",
+		"job", job.ID, "status", status, "cache_hit", hit, "attempts", attempts,
+		"wall", wall.Round(time.Millisecond))
 }
 
 // finalizeLocked commits a terminal transition: job fields, metrics, the
@@ -134,6 +155,11 @@ func (s *Server) finalizeLocked(job *Job, status Status, errMsg string, res *Job
 	job.CacheHit = cacheHit
 	job.FinishedAt = time.Now()
 	close(job.done)
+	job.tracer.Emit(telemetry.Event{
+		Kind: telemetry.KindJobDone, Wall: job.FinishedAt.UnixNano(),
+		App: -1, SM: -1, Job: job.ID, Note: string(status),
+		Attempt: int32(job.Attempts), CacheHit: cacheHit,
+	})
 	switch status {
 	case StatusDone:
 		s.metrics.jobsCompleted.Add(1)
@@ -146,9 +172,31 @@ func (s *Server) finalizeLocked(job *Job, status Status, errMsg string, res *Job
 		Status: status, Error: errMsg, CacheHit: cacheHit, Attempts: job.Attempts, Result: res,
 	}); err != nil {
 		s.metrics.journalErrors.Add(1)
-		s.logf("journal append finished job=%s: %v", job.ID, err)
+		s.opts.Logger.Error("journal append finished failed", "job", job.ID, "err", err)
 	}
 	s.maybeCompactLocked()
+}
+
+// writeTraceFile dumps a finished job's trace as Chrome trace-event JSON into
+// TraceDir. Called outside the server mutex; file I/O must not block job
+// state transitions.
+func (s *Server) writeTraceFile(job *Job) {
+	if s.opts.TraceDir == "" || job.tracer == nil {
+		return
+	}
+	path := fmt.Sprintf("%s/%s.trace.json", s.opts.TraceDir, job.ID)
+	f, err := os.Create(path)
+	if err != nil {
+		s.opts.Logger.Error("trace file create failed", "job", job.ID, "err", err)
+		return
+	}
+	err = telemetry.WriteChromeTrace(f, job.tracer.Events())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		s.opts.Logger.Error("trace file write failed", "job", job.ID, "path", path, "err", err)
+	}
 }
 
 // backoffLocked returns the capped exponential backoff with full jitter for
@@ -194,11 +242,14 @@ func (s *Server) requeueAfterBackoff(job *Job, delay time.Duration) {
 
 // execute runs the plan's simulation through the content-addressed cache and
 // optionally augments it with slowdown metrics against cached alone
-// baselines. The returned cacheHit refers to the main simulation.
-func (s *Server) execute(ctx context.Context, p plan) (*JobResult, bool, error) {
+// baselines. The returned cacheHit refers to the main simulation. tr, when
+// non-nil, receives the simulation's trace events (cache hits skip the
+// simulation, so hit jobs carry lifecycle events only) and, for slowdown
+// jobs, the measured ground truth.
+func (s *Server) execute(ctx context.Context, p plan, tr *telemetry.Tracer) (*JobResult, bool, error) {
 	key := simcache.Key(s.opts.Cfg, p.profiles, p.alloc, p.cycles, p.seed, p.variant())
 	res, cacheHit, err := s.cachedSim(ctx, key, func(ctx context.Context) (*sim.Result, error) {
-		return s.runSim(ctx, p)
+		return s.runSim(ctx, p, tr)
 	})
 	if err != nil {
 		return nil, false, err
@@ -223,8 +274,59 @@ func (s *Server) execute(ctx context.Context, p plan) (*JobResult, bool, error) 
 		}
 		out.Unfairness = metrics.Unfairness(out.Slowdowns)
 		out.HarmonicSpeedup = metrics.HarmonicSpeedup(out.Slowdowns)
+		s.observeEstimation(p, res, out.Slowdowns, tr)
 	}
 	return out, cacheHit, nil
+}
+
+// observeEstimation scores DASE's per-interval slowdown estimates against the
+// job's measured whole-run slowdowns: each interval's relative error feeds
+// the dased_estimation_error histogram, and with tracing enabled the ground
+// truth is recorded as slowdown.actual events (making the trace
+// self-contained for dasetrace). For even-policy jobs — where no scheduler
+// ran DASE during the simulation — the per-interval estimates are also
+// emitted as dase.app events here. This is pure observation off the hot path:
+// the estimator re-runs over the result's retained snapshots.
+func (s *Server) observeEstimation(p plan, res *sim.Result, actual []float64, tr *telemetry.Tracer) {
+	if p.mode == "alone" {
+		return
+	}
+	est := core.New(core.Options{})
+	emitDASE := tr != nil && p.policy == "even"
+	for si := range res.Snapshots {
+		snap := &res.Snapshots[si]
+		det := est.EstimateDetailed(snap)
+		for i := range det {
+			if i < len(actual) && actual[i] > 0 {
+				s.metrics.estError.Observe(abs(det[i].Slowdown-actual[i]) / actual[i])
+			}
+			if emitDASE {
+				tr.Emit(telemetry.Event{
+					Kind: telemetry.KindDASEApp, Cycle: snap.Cycle,
+					App: int32(i), SM: -1, Note: p.policy,
+					Alpha: det[i].Alpha, BLP: snap.Apps[i].BLP,
+					TimeBank: det[i].TimeBank, TimeRow: det[i].TimeRow,
+					TimeLLC: det[i].TimeLLC, MBB: det[i].MBB,
+					Est: det[i].Slowdown, SMs: int32(snap.Apps[i].SMs),
+				})
+			}
+		}
+	}
+	if tr != nil {
+		for i, a := range actual {
+			tr.Emit(telemetry.Event{
+				Kind: telemetry.KindActual, Cycle: res.Cycles,
+				App: int32(i), SM: -1, Actual: a,
+			})
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // cachedSim resolves one simulation through the result cache, counting the
@@ -255,9 +357,15 @@ func (s *Server) simOpts() []sim.Option {
 	return opts
 }
 
-// runSim dispatches the plan to the right simulation entry point.
-func (s *Server) runSim(ctx context.Context, p plan) (*sim.Result, error) {
+// runSim dispatches the plan to the right simulation entry point. A non-nil
+// tracer is attached to the engine (and, through g.Tracer(), picked up by the
+// DASE policies); tracing is observation-only, so traced and untraced runs
+// share cache keys.
+func (s *Server) runSim(ctx context.Context, p plan, tr *telemetry.Tracer) (*sim.Result, error) {
 	opts := s.simOpts()
+	if tr != nil {
+		opts = append(opts, sim.WithTracer(tr))
+	}
 	if p.mode == "alone" {
 		return sim.RunAloneContext(ctx, s.opts.Cfg, p.profiles[0], p.cycles, p.seed, opts...)
 	}

@@ -27,8 +27,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand/v2"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -39,6 +40,7 @@ import (
 	"dasesim/internal/journal"
 	"dasesim/internal/kernels"
 	"dasesim/internal/simcache"
+	"dasesim/internal/telemetry"
 )
 
 // Options configure a Server; zero fields take the documented defaults.
@@ -98,9 +100,19 @@ type Options struct {
 	// simulation throughput, so it defaults to off; a violation fails the
 	// job with an invariant panic instead of returning corrupt numbers.
 	CheckInvariants bool
-	// Logger receives request and job logs (default: log.Default()). Use
-	// log.New(io.Discard, "", 0) to silence.
-	Logger *log.Logger
+	// Logger receives structured request and job logs (default:
+	// slog.Default()). Use slog.New(slog.NewTextHandler(io.Discard, nil))
+	// to silence.
+	Logger *slog.Logger
+	// TraceEvents enables per-job event tracing with a ring retaining the
+	// most recent N events per job: lifecycle transitions plus, for jobs
+	// that actually simulate, engine and DASE scheduler events. Traces are
+	// served at GET /v1/jobs/{id}/trace. 0 disables tracing (the default)
+	// unless TraceDir is set, which implies telemetry.DefaultCapacity.
+	TraceEvents int
+	// TraceDir, when set, additionally writes each finished job's trace as
+	// Chrome trace-event JSON to <TraceDir>/<jobID>.trace.json.
+	TraceDir string
 }
 
 // withDefaults fills unset options.
@@ -160,7 +172,13 @@ func (o Options) withDefaults() Options {
 		o.SnapshotRetention = 0 // unlimited
 	}
 	if o.Logger == nil {
-		o.Logger = log.Default()
+		o.Logger = slog.Default()
+	}
+	if o.TraceDir != "" && o.TraceEvents == 0 {
+		o.TraceEvents = telemetry.DefaultCapacity
+	}
+	if o.TraceEvents < 0 {
+		o.TraceEvents = 0
 	}
 	return o
 }
@@ -220,6 +238,12 @@ func New(opts Options) (*Server, error) {
 			return st.Hits, st.Misses, st.Evictions, st.Entries
 		},
 	)
+	if opts.TraceDir != "" {
+		if err := os.MkdirAll(opts.TraceDir, 0o755); err != nil {
+			cancel()
+			return nil, fmt.Errorf("server: trace dir: %w", err)
+		}
+	}
 	if opts.JournalPath != "" {
 		jnl, records, err := journal.Open(opts.JournalPath)
 		if err != nil {
@@ -227,7 +251,7 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 		s.journal = jnl
-		s.metrics.journalRecords = jnl.Len
+		s.metrics.setJournalRecords(jnl.Len)
 		s.replay(records)
 	}
 	return s, nil
@@ -388,6 +412,13 @@ func (s *Server) replay(records []journal.Record) {
 			} else {
 				job.Status = StatusQueued
 				job.plan = pl
+				if s.opts.TraceEvents > 0 {
+					job.tracer = telemetry.New(s.opts.TraceEvents)
+					job.tracer.Emit(telemetry.Event{
+						Kind: telemetry.KindJobQueued, Wall: job.SubmittedAt.UnixNano(),
+						App: -1, SM: -1, Job: job.ID, Note: "replayed",
+					})
+				}
 				s.queue <- job
 			}
 		}
@@ -397,10 +428,10 @@ func (s *Server) replay(records []journal.Record) {
 	}
 	s.evictJobRecordsLocked()
 	if err := s.compactLocked(); err != nil {
-		s.logf("journal compact after replay: %v", err)
+		s.opts.Logger.Error("journal compact after replay failed", "err", err)
 	}
 	if n := len(s.jobs); n > 0 {
-		s.logf("journal replayed jobs=%d requeued=%d", n, len(s.queue))
+		s.opts.Logger.Info("journal replayed", "jobs", n, "requeued", len(s.queue))
 	}
 }
 
@@ -450,7 +481,7 @@ func (s *Server) maybeCompactLocked() {
 	}
 	if s.journal.Len() > 4*len(s.jobs)+16 {
 		if err := s.compactLocked(); err != nil {
-			s.logf("journal compact: %v", err)
+			s.opts.Logger.Error("journal compact failed", "err", err)
 			s.metrics.journalErrors.Add(1)
 		}
 	}
@@ -563,6 +594,13 @@ func (s *Server) submit(req JobRequest) (*Job, error) {
 		plan:        pl,
 		done:        make(chan struct{}),
 	}
+	if s.opts.TraceEvents > 0 {
+		job.tracer = telemetry.New(s.opts.TraceEvents)
+		job.tracer.Emit(telemetry.Event{
+			Kind: telemetry.KindJobQueued, Wall: job.SubmittedAt.UnixNano(),
+			App: -1, SM: -1, Job: job.ID,
+		})
+	}
 	if err := s.appendJournalBounded(journal.OpSubmitted, job.ID, submittedData{Request: req}); err != nil {
 		s.nextID--
 		s.metrics.journalErrors.Add(1)
@@ -617,9 +655,13 @@ func (s *Server) cancelJob(id string) (found, canceled bool) {
 		job.FinishedAt = time.Now()
 		close(job.done)
 		s.metrics.jobsCanceled.Add(1)
+		job.tracer.Emit(telemetry.Event{
+			Kind: telemetry.KindJobDone, Wall: job.FinishedAt.UnixNano(),
+			App: -1, SM: -1, Job: job.ID, Note: string(StatusCanceled),
+		})
 		if err := s.appendJournalBounded(journal.OpCanceled, job.ID, nil); err != nil {
 			s.metrics.journalErrors.Add(1)
-			s.logf("journal append canceled job=%s: %v", job.ID, err)
+			s.opts.Logger.Error("journal append canceled failed", "job", job.ID, "err", err)
 		}
 		return true, true
 	case StatusRunning:
@@ -636,9 +678,4 @@ func (s *Server) getJob(id string) (*Job, bool) {
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	return j, ok
-}
-
-// logf writes one structured log line.
-func (s *Server) logf(format string, args ...any) {
-	s.opts.Logger.Printf("dased "+format, args...)
 }

@@ -6,7 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
@@ -27,7 +27,7 @@ const testCycles = 20_000
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
 	if opts.Logger == nil {
-		opts.Logger = log.New(io.Discard, "", 0)
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	if opts.JobTimeout == 0 {
 		opts.JobTimeout = time.Minute

@@ -15,6 +15,7 @@ import (
 	"dasesim/internal/kernels"
 	"dasesim/internal/memreq"
 	"dasesim/internal/smcore"
+	"dasesim/internal/telemetry"
 )
 
 // GPU is one simulated device executing a set of applications.
@@ -64,6 +65,12 @@ type GPU struct {
 	// checks is non-nil under WithInvariantChecks; step sweeps it
 	// periodically and panics with the first *InvariantViolation.
 	checks *invariantChecker
+
+	// tracer is non-nil under WithTracer; the engine emits interval
+	// snapshots and SM drain/assign transitions into it. Observation-only:
+	// results are identical with tracing on, and when off each site pays one
+	// nil check.
+	tracer *telemetry.Tracer
 }
 
 // snapshotAgg accumulates the run-total counters of snapshots evicted under
@@ -102,6 +109,19 @@ func WithPriorityEpochs() Option {
 func WithSnapshotRetention(n int) Option {
 	return func(g *GPU) { g.snapRetention = n }
 }
+
+// WithTracer attaches an event tracer. The engine emits one interval event
+// per app at every interval boundary plus SM drain/assign transitions during
+// repartitioning. Tracing is observation-only — simulation results are
+// byte-identical with it enabled — and a nil tracer is the same as not
+// passing the option.
+func WithTracer(tr *telemetry.Tracer) Option {
+	return func(g *GPU) { g.tracer = tr }
+}
+
+// Tracer returns the tracer attached with WithTracer, nil when tracing is
+// disabled. Policies use this to emit into the same stream as the engine.
+func (g *GPU) Tracer() *telemetry.Tracer { return g.tracer }
 
 // New builds a GPU running the given application profiles with alloc[i] SMs
 // initially assigned to app i. The sum of alloc must not exceed the SM
@@ -278,6 +298,14 @@ func (g *GPU) applyDesired() {
 			continue
 		}
 		if !sm.Idle() {
+			// Drain() is re-issued every cycle while the SM empties; trace
+			// only the transition into draining.
+			if g.tracer != nil && !sm.Draining() {
+				g.tracer.Emit(telemetry.Event{
+					Kind: telemetry.KindSMDrain, Cycle: g.cycle,
+					SM: int32(i), App: int32(sm.Owner()),
+				})
+			}
 			sm.Drain()
 			continue
 		}
@@ -286,6 +314,12 @@ func (g *GPU) applyDesired() {
 			continue
 		}
 		sm.Assign(want, g.disps[want])
+		if g.tracer != nil {
+			g.tracer.Emit(telemetry.Event{
+				Kind: telemetry.KindSMAssign, Cycle: g.cycle,
+				SM: int32(i), App: int32(want),
+			})
+		}
 	}
 }
 
@@ -443,6 +477,17 @@ func (g *GPU) step() {
 	if g.cycle-g.intervalStart >= g.cfg.IntervalCycles {
 		snap := g.takeSnapshot()
 		g.addSnapshot(snap)
+		if g.tracer != nil {
+			for a := range snap.Apps {
+				ai := &snap.Apps[a]
+				g.tracer.Emit(telemetry.Event{
+					Kind: telemetry.KindInterval, Cycle: g.cycle,
+					App: int32(a), SM: -1,
+					Alpha: ai.Alpha, BLP: ai.BLP,
+					Served: ai.Served, SMs: int32(ai.SMs),
+				})
+			}
+		}
 		if g.IntervalHook != nil {
 			g.IntervalHook(g, snap)
 		}

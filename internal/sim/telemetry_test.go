@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+
+	"dasesim/internal/config"
+	"dasesim/internal/telemetry"
+)
+
+// TestEngineTracing runs a traced two-app workload across interval
+// boundaries and a reallocation, and checks the engine's event stream:
+// per-app interval events at every boundary, a drain for each SM taken from
+// a busy app, and an assign when it moves.
+func TestEngineTracing(t *testing.T) {
+	cfg := config.Default()
+	cfg.IntervalCycles = 10_000
+	tr := telemetry.New(0)
+	g, err := New(cfg, twoApps(t), []int{8, 8}, 1, WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Tracer() != tr {
+		t.Fatal("Tracer() does not return the attached tracer")
+	}
+	g.Run(20_000)
+	if err := g.SetAllocation([]int{12, 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Draining waits for in-flight warps; ~55k cycles suffice for this pair.
+	g.Run(100_000)
+	res := g.FinishRun()
+
+	kinds := map[telemetry.Kind]int{}
+	drainedSMs := map[int32]int{}
+	for _, e := range tr.Events() {
+		kinds[e.Kind]++
+		if e.Kind == telemetry.KindSMDrain {
+			drainedSMs[e.SM]++
+		}
+	}
+	// One interval event per app per boundary.
+	wantIntervals := len(res.Snapshots) * 2
+	if kinds[telemetry.KindInterval] != wantIntervals {
+		t.Errorf("%d interval events, want %d", kinds[telemetry.KindInterval], wantIntervals)
+	}
+	// 8→4 for app 1 means 4 SMs drained, each exactly once (the drain event
+	// must not repeat while the SM empties), and 4 assigns to app 0.
+	if kinds[telemetry.KindSMDrain] != 4 {
+		t.Errorf("%d drain events, want 4", kinds[telemetry.KindSMDrain])
+	}
+	for sm, n := range drainedSMs {
+		if n != 1 {
+			t.Errorf("SM %d drained %d times in the trace, want 1", sm, n)
+		}
+	}
+	if kinds[telemetry.KindSMAssign] != 4 {
+		t.Errorf("%d assign events, want 4", kinds[telemetry.KindSMAssign])
+	}
+}
+
+// TestEngineTracingNil pins the disabled path: a nil tracer is the default
+// and the engine must run exactly as before (byte-identical results are
+// enforced by the root package's TestTracingGolden).
+func TestEngineTracingNil(t *testing.T) {
+	g, err := New(config.Default(), twoApps(t), []int{8, 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Tracer() != nil {
+		t.Fatal("fresh GPU has a tracer attached")
+	}
+	g.Run(1_000)
+	g.FinishRun()
+}

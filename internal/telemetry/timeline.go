@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+)
+
+// TimelinePoint is one interval of an application's estimate timeline.
+type TimelinePoint struct {
+	Cycle uint64
+	Est   float64 // DASE's estimated all-SM slowdown for the interval
+	// Err is the signed relative error (Est-Actual)/Actual against the
+	// app's measured whole-run slowdown; NaN when no actual is known. The
+	// paper's Eq. 26 error is its magnitude.
+	Err float64
+	MBB bool // interval classified memory-bandwidth-bound
+}
+
+// AppTimeline is one application's estimated-vs-actual slowdown record,
+// assembled from a trace.
+type AppTimeline struct {
+	App    int
+	Actual float64 // measured slowdown (0 when the trace holds none)
+	Points []TimelinePoint
+}
+
+// MeanAbsErr returns the mean |Err| over intervals with a known actual
+// (NaN when there are none).
+func (a *AppTimeline) MeanAbsErr() float64 {
+	var sum float64
+	n := 0
+	for _, p := range a.Points {
+		if !math.IsNaN(p.Err) {
+			sum += math.Abs(p.Err)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// MaxAbsErr returns the largest |Err| (NaN when no actual is known).
+func (a *AppTimeline) MaxAbsErr() float64 {
+	mx := math.NaN()
+	for _, p := range a.Points {
+		if !math.IsNaN(p.Err) && (math.IsNaN(mx) || math.Abs(p.Err) > mx) {
+			mx = math.Abs(p.Err)
+		}
+	}
+	return mx
+}
+
+// ErrorTimeline assembles per-application estimated-vs-actual slowdown
+// timelines from a trace: per-interval estimates come from dase.app events,
+// the ground truth from slowdown.actual events (the last one per app wins).
+// Apps are returned in index order; apps with no estimate events are
+// omitted.
+func ErrorTimeline(events []Event) []AppTimeline {
+	byApp := map[int]*AppTimeline{}
+	actual := map[int]float64{}
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case KindDASEApp:
+			a := byApp[int(e.App)]
+			if a == nil {
+				a = &AppTimeline{App: int(e.App)}
+				byApp[int(e.App)] = a
+			}
+			a.Points = append(a.Points, TimelinePoint{Cycle: e.Cycle, Est: e.Est, MBB: e.MBB})
+		case KindActual:
+			actual[int(e.App)] = e.Actual
+		}
+	}
+	out := make([]AppTimeline, 0, len(byApp))
+	for _, a := range byApp {
+		a.Actual = actual[a.App]
+		sort.SliceStable(a.Points, func(i, j int) bool { return a.Points[i].Cycle < a.Points[j].Cycle })
+		for i := range a.Points {
+			if a.Actual > 0 {
+				a.Points[i].Err = (a.Points[i].Est - a.Actual) / a.Actual
+			} else {
+				a.Points[i].Err = math.NaN()
+			}
+		}
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
+	return out
+}

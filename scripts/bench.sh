@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Runs the engine benchmark trio and appends the averaged numbers as a dated
-# entry to BENCH_cycles.json (see scripts/benchjson). Pass a note describing
-# the state being measured:
+# entry to BENCH_cycles.json (see scripts/benchjson). Each entry is stamped
+# with the go version and GOMAXPROCS so numbers from different machines stay
+# comparable. Pass a note describing the state being measured:
 #
 #   scripts/bench.sh "after MSHR index rework"
 #

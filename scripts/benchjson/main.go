@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -33,11 +34,15 @@ type BenchStats struct {
 	Runs        int     `json:"runs"`
 }
 
-// Entry is one dated measurement of the benchmark suite.
+// Entry is one dated measurement of the benchmark suite. GoVersion and
+// GoMaxProcs identify the toolchain and parallelism the numbers were taken
+// under, so entries from different machines stay comparable.
 type Entry struct {
 	Date       string                `json:"date"`
 	Commit     string                `json:"commit"`
 	Note       string                `json:"note,omitempty"`
+	GoVersion  string                `json:"go_version,omitempty"`
+	GoMaxProcs int                   `json:"gomaxprocs,omitempty"`
 	Benchmarks map[string]BenchStats `json:"benchmarks"`
 }
 
@@ -132,6 +137,8 @@ func main() {
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		Commit:     *commit,
 		Note:       *note,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Benchmarks: benchmarks,
 	}
 	if _, err := appendEntry(*out, entry); err != nil {

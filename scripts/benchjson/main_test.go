@@ -60,9 +60,10 @@ func TestAppendEntryGrowsHistory(t *testing.T) {
 	if _, err := appendEntry(path, first); err != nil {
 		t.Fatal(err)
 	}
-	second := Entry{Date: "2026-02-01", Commit: "bbbb", Note: "after refactor", Benchmarks: map[string]BenchStats{
-		"GPUCycle": {NsPerOp: 90, Runs: 5},
-	}}
+	second := Entry{Date: "2026-02-01", Commit: "bbbb", Note: "after refactor",
+		GoVersion: "go1.22.0", GoMaxProcs: 8, Benchmarks: map[string]BenchStats{
+			"GPUCycle": {NsPerOp: 90, Runs: 5},
+		}}
 	got, err := appendEntry(path, second)
 	if err != nil {
 		t.Fatal(err)
@@ -88,6 +89,13 @@ func TestAppendEntryGrowsHistory(t *testing.T) {
 	}
 	if onDisk[1].Benchmarks["GPUCycle"].NsPerOp != 90 {
 		t.Errorf("benchmark stats lost: %+v", onDisk[1])
+	}
+	if onDisk[1].GoVersion != "go1.22.0" || onDisk[1].GoMaxProcs != 8 {
+		t.Errorf("toolchain stamp lost: %+v", onDisk[1])
+	}
+	// Entries predating the stamp decode with zero values, not an error.
+	if onDisk[0].GoVersion != "" || onDisk[0].GoMaxProcs != 0 {
+		t.Errorf("unstamped entry gained a stamp: %+v", onDisk[0])
 	}
 }
 

@@ -17,6 +17,12 @@
 //	curl -s localhost:8844/v1/jobs/job-1/trace?format=ndjson
 //	curl -s localhost:8844/metrics
 //
+// Besides the job API, the daemon serves DASE online: POST /v1/estimate
+// answers a counter snapshot (or an array batch) with estimated slowdowns
+// and a recommended SM partition without running a simulation, and
+// POST /v1/estimate/stream does the same over an NDJSON request/response
+// stream. Drive it with cmd/daseload to measure serving capacity.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown that drains queued and running
 // jobs (bounded by -drain-grace).
 package main
@@ -58,6 +64,9 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log output format: text | json")
 	traceEvents := flag.Int("trace-events", 0, "per-job trace ring capacity in events; 0 disables tracing unless -trace-dir is set")
 	traceDir := flag.String("trace-dir", "", "write each finished job's Chrome trace JSON into this directory (implies tracing)")
+	estMinSMs := flag.Int("estimate-min-sms", 0, "minimum SMs per app in recommended partitions (0: 1)")
+	estMaxApps := flag.Int("estimate-max-apps", 0, "most apps accepted per estimate snapshot (0: 8)")
+	estMaxBody := flag.Int64("estimate-max-body", 0, "largest accepted estimate body/stream line in bytes (0: 1 MiB)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -91,6 +100,9 @@ func main() {
 		Logger:            logger,
 		TraceEvents:       *traceEvents,
 		TraceDir:          *traceDir,
+		EstimateMinSMs:    *estMinSMs,
+		EstimateMaxApps:   *estMaxApps,
+		EstimateMaxBody:   *estMaxBody,
 	}
 	// In Options, 0 retries means "use the default"; on the command line an
 	// explicit 0 means none.

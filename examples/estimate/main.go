@@ -1,0 +1,126 @@
+// Estimate: serve DASE online over HTTP. The example starts the daemon's
+// handler in-process, runs a short two-app shared simulation to obtain
+// realistic per-interval counter snapshots, and POSTs them to
+// /v1/estimate — one single-shot request, then one array batch — printing
+// the estimated slowdowns and the recommended SM partition from each
+// response. This is the flow a cluster scheduler would use: counters in,
+// slowdowns and a partition out, no simulation in the serving loop.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+
+	"dasesim"
+	"dasesim/internal/estimate"
+	"dasesim/internal/server"
+)
+
+func main() {
+	cfg := dasesim.DefaultConfig()
+
+	// An in-process dased; in production this is `dased -addr :8844`.
+	srv, err := server.New(server.Options{
+		Cfg:    cfg,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Produce counter snapshots the way a real deployment would: from a
+	// running workload. Here, a short SB+SD shared simulation.
+	var apps []dasesim.KernelProfile
+	for _, abbr := range []string{"SB", "SD"} {
+		p, ok := dasesim.KernelByAbbr(abbr)
+		if !ok {
+			log.Fatalf("kernel %s not found", abbr)
+		}
+		apps = append(apps, p)
+	}
+	res, err := dasesim.RunShared(cfg, apps, dasesim.EvenAllocation(cfg.NumSMs, 2), 200_000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var bodies [][]byte
+	for i := range res.Snapshots {
+		snap := &res.Snapshots[i]
+		if snap.IntervalCycles == 0 || len(snap.Apps) == 0 {
+			continue
+		}
+		req := estimate.FromSnapshot(snap)
+		bodies = append(bodies, estimate.AppendRequest(nil, &req))
+	}
+	if len(bodies) == 0 {
+		log.Fatal("simulation recorded no snapshots")
+	}
+
+	// Single-shot: one snapshot in, one estimate out.
+	fmt.Println("single-shot POST /v1/estimate (last interval):")
+	printResponse(post(ts.URL, bodies[len(bodies)-1]))
+
+	// Batch: an array body answers per element, preserving order.
+	batch := append([]byte{'['}, bytes.Join(bodies, []byte{','})...)
+	batch = append(batch, ']')
+	fmt.Printf("\nbatch POST /v1/estimate (%d intervals): first and last answers:\n", len(bodies))
+	var batchResp []response
+	mustUnmarshal(post(ts.URL, batch), &batchResp)
+	printDecoded(batchResp[0])
+	printDecoded(batchResp[len(batchResp)-1])
+}
+
+// response mirrors the wire shape of one estimate answer.
+type response struct {
+	Apps []struct {
+		Slowdown float64 `json:"slowdown"`
+		MBB      bool    `json:"mbb"`
+		Alpha    float64 `json:"alpha"`
+	} `json:"apps"`
+	Partition           []int   `json:"partition"`
+	Unfairness          float64 `json:"unfairness"`
+	PartitionUnfairness float64 `json:"partition_unfairness"`
+}
+
+func post(base string, body []byte) []byte {
+	resp, err := http.Post(base+"/v1/estimate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("estimate rejected (%d): %s", resp.StatusCode, out)
+	}
+	return out
+}
+
+func printResponse(raw []byte) {
+	var r response
+	mustUnmarshal(raw, &r)
+	printDecoded(r)
+}
+
+func printDecoded(r response) {
+	for i, a := range r.Apps {
+		fmt.Printf("  app %d: slowdown %.3f  alpha %.3f  mbb=%v\n", i, a.Slowdown, a.Alpha, a.MBB)
+	}
+	fmt.Printf("  unfairness %.3f -> recommended partition %v (unfairness %.3f)\n",
+		r.Unfairness, r.Partition, r.PartitionUnfairness)
+}
+
+func mustUnmarshal(raw []byte, v any) {
+	if err := json.Unmarshal(raw, v); err != nil {
+		log.Fatalf("decode %s: %v", raw, err)
+	}
+}

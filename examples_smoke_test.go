@@ -20,6 +20,7 @@ var exampleBins = []struct {
 	args []string
 }{
 	{name: "bwdecomp", args: []string{"-cycles", "60000"}},
+	{name: "estimate"},
 	{name: "fairsched"},
 	{name: "qos"},
 	{name: "quickstart"},

@@ -116,7 +116,21 @@ func (d *DASE) Estimate(snap *sim.IntervalSnapshot) []float64 {
 
 // EstimateDetailed returns the full interference breakdown per app.
 func (d *DASE) EstimateDetailed(snap *sim.IntervalSnapshot) []AppEstimate {
-	out := make([]AppEstimate, len(snap.Apps))
+	return d.EstimateDetailedInto(snap, make([]AppEstimate, 0, len(snap.Apps)))
+}
+
+// EstimateDetailedInto is EstimateDetailed writing into caller-provided
+// scratch: out is resized to one entry per app (growing only when its
+// capacity is insufficient) and returned. With adequate capacity it
+// allocates nothing, so online serving paths can reuse one slice across
+// requests. The numbers are identical to EstimateDetailed's — it is the
+// same computation.
+func (d *DASE) EstimateDetailedInto(snap *sim.IntervalSnapshot, out []AppEstimate) []AppEstimate {
+	if cap(out) < len(snap.Apps) {
+		out = make([]AppEstimate, len(snap.Apps))
+	} else {
+		out = out[:len(snap.Apps)]
+	}
 	reqMax := snap.RequestMax()
 	totalServed := float64(snap.TotalServed())
 	nApps := float64(len(snap.Apps))
@@ -124,6 +138,7 @@ func (d *DASE) EstimateDetailed(snap *sim.IntervalSnapshot) []AppEstimate {
 	for i := range snap.Apps {
 		a := &snap.Apps[i]
 		e := &out[i]
+		*e = AppEstimate{} // clear any reused entry; the MBB path skips the time fields
 		e.Alpha = a.Alpha
 
 		// Eq. 17: requests net of contention-induced extra misses.

@@ -1,0 +1,112 @@
+package estimate
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrLineTooLong reports an NDJSON line exceeding the scanner's limit.
+var ErrLineTooLong = errors.New("estimate: NDJSON line too long")
+
+// lineScanner splits a reader into newline-terminated frames using one
+// recycled buffer — bufio.Scanner without the per-stream allocations. Lines
+// alias the internal buffer and are valid until the next call.
+type lineScanner struct {
+	buf        []byte
+	start, end int
+	eof        bool
+	max        int
+}
+
+func (ls *lineScanner) reset(max int) {
+	ls.start, ls.end, ls.eof = 0, 0, false
+	ls.max = max
+	if ls.buf == nil {
+		ls.buf = make([]byte, 4096)
+	}
+}
+
+// next returns the next line (newline stripped). It returns io.EOF at clean
+// end of input; a final unterminated line is returned before the EOF.
+func (ls *lineScanner) next(r io.Reader) ([]byte, error) {
+	for {
+		// Look for a newline in the buffered window.
+		for i := ls.start; i < ls.end; i++ {
+			if ls.buf[i] == '\n' {
+				line := ls.buf[ls.start:i]
+				ls.start = i + 1
+				if len(line) > ls.max {
+					return nil, ErrLineTooLong
+				}
+				return trimCR(line), nil
+			}
+		}
+		if ls.eof {
+			if ls.start < ls.end {
+				line := ls.buf[ls.start:ls.end]
+				ls.start = ls.end
+				if len(line) > ls.max {
+					return nil, ErrLineTooLong
+				}
+				return trimCR(line), nil
+			}
+			return nil, io.EOF
+		}
+		// Compact, then grow if the line still does not fit.
+		if ls.start > 0 {
+			copy(ls.buf, ls.buf[ls.start:ls.end])
+			ls.end -= ls.start
+			ls.start = 0
+		}
+		if ls.end == len(ls.buf) {
+			if len(ls.buf) >= ls.max {
+				return nil, ErrLineTooLong
+			}
+			grown := make([]byte, min(len(ls.buf)*2, ls.max))
+			copy(grown, ls.buf[:ls.end])
+			ls.buf = grown
+		}
+		n, err := r.Read(ls.buf[ls.end:])
+		ls.end += n
+		if err == io.EOF {
+			ls.eof = true
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func trimCR(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		return line[:n-1]
+	}
+	return line
+}
+
+// StreamReset prepares sc's line scanner for a new NDJSON stream whose lines
+// are capped at maxLine bytes.
+func (sc *Scratch) StreamReset(maxLine int) {
+	if maxLine <= 0 {
+		maxLine = 1 << 20
+	}
+	sc.scan.reset(maxLine)
+}
+
+// StreamNext reads the next NDJSON line from r into sc.Body. It returns
+// io.EOF at end of stream and ErrLineTooLong on an oversized line; any other
+// error is the reader's. Empty lines are skipped.
+func (sc *Scratch) StreamNext(r io.Reader) error {
+	for {
+		line, err := sc.scan.next(r)
+		if err != nil {
+			return err
+		}
+		if len(line) == 0 {
+			continue
+		}
+		sc.Body = line
+		return nil
+	}
+}

@@ -1,0 +1,144 @@
+package estimate
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// chunkReader returns its data in tiny reads, forcing the scanner through
+// its compact-and-refill path.
+type chunkReader struct {
+	data []byte
+	n    int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := c.n
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+func scanAll(t *testing.T, r io.Reader, maxLine int) []string {
+	t.Helper()
+	var sc Scratch
+	sc.StreamReset(maxLine)
+	var out []string
+	for {
+		err := sc.StreamNext(r)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("StreamNext: %v", err)
+		}
+		out = append(out, string(sc.Body))
+	}
+}
+
+func TestStreamScanner(t *testing.T) {
+	input := "line one\nline two\r\n\n\nline four"
+	want := []string{"line one", "line two", "line four"}
+
+	t.Run("one-read", func(t *testing.T) {
+		got := scanAll(t, strings.NewReader(input), 1<<20)
+		if strings.Join(got, "|") != strings.Join(want, "|") {
+			t.Fatalf("got %q want %q", got, want)
+		}
+	})
+	t.Run("byte-at-a-time", func(t *testing.T) {
+		got := scanAll(t, &chunkReader{data: []byte(input), n: 1}, 1<<20)
+		if strings.Join(got, "|") != strings.Join(want, "|") {
+			t.Fatalf("got %q want %q", got, want)
+		}
+	})
+	t.Run("line-longer-than-initial-buffer", func(t *testing.T) {
+		long := strings.Repeat("x", 10_000)
+		got := scanAll(t, strings.NewReader(long+"\nshort\n"), 1<<20)
+		if len(got) != 2 || got[0] != long || got[1] != "short" {
+			t.Fatalf("long line mishandled: %d lines", len(got))
+		}
+	})
+	t.Run("line-over-limit", func(t *testing.T) {
+		var sc Scratch
+		sc.StreamReset(64)
+		err := sc.StreamNext(strings.NewReader(strings.Repeat("y", 100) + "\n"))
+		if !errors.Is(err, ErrLineTooLong) {
+			t.Fatalf("want ErrLineTooLong, got %v", err)
+		}
+	})
+	t.Run("empty-stream", func(t *testing.T) {
+		if got := scanAll(t, bytes.NewReader(nil), 1<<20); len(got) != 0 {
+			t.Fatalf("want no lines, got %q", got)
+		}
+	})
+}
+
+// TestStreamScannerReuse: resetting must fully clear prior-stream state.
+func TestStreamScannerReuse(t *testing.T) {
+	var sc Scratch
+	sc.StreamReset(1 << 20)
+	if err := sc.StreamNext(strings.NewReader("first stream\n")); err != nil {
+		t.Fatal(err)
+	}
+	sc.StreamReset(1 << 20)
+	if err := sc.StreamNext(strings.NewReader("second\n")); err != nil {
+		t.Fatal(err)
+	}
+	if string(sc.Body) != "second" {
+		t.Fatalf("stale data after reset: %q", sc.Body)
+	}
+}
+
+// TestStreamProcessSequence drives Process line-by-line like the stream
+// endpoint does, checking that a validation error on one line leaves the
+// Scratch usable for the next.
+func TestStreamProcessSequence(t *testing.T) {
+	svc := NewService(Options{})
+	good := sampleRequest(1)
+	bad := sampleRequest(2)
+	bad.Apps[0].Alpha = -5
+
+	var stream []byte
+	stream = AppendRequest(stream, &good)
+	stream = append(stream, '\n')
+	stream = AppendRequest(stream, &bad)
+	stream = append(stream, '\n')
+	stream = AppendRequest(stream, &good)
+	stream = append(stream, '\n')
+
+	sc := svc.Get()
+	defer svc.Put(sc)
+	sc.StreamReset(1 << 20)
+	r := bytes.NewReader(stream)
+	var errs, oks int
+	for {
+		err := sc.StreamNext(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if perr := svc.Process(sc); perr != nil {
+			errs++
+			continue
+		}
+		oks++
+	}
+	if oks != 2 || errs != 1 {
+		t.Fatalf("oks=%d errs=%d, want 2/1", oks, errs)
+	}
+}

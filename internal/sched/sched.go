@@ -128,7 +128,7 @@ func (p *DASEFair) OnInterval(g *sim.GPU, snap *sim.IntervalSnapshot) {
 		cur[i] = snap.Apps[i].SMs
 	}
 	best, bestUnf := SearchBestPartition(slow, cur, snap.NumSMs, p.MinSMs)
-	curUnf := estimatedUnfairness(slow, cur, cur, snap.NumSMs)
+	curUnf := EstimatedUnfairness(slow, cur, cur, snap.NumSMs)
 	realloc := best != nil &&
 		bestUnf < curUnf*(1-p.ImprovementThreshold) &&
 		!equalInts(best, cur)
@@ -218,9 +218,9 @@ func ReciprocalAt(recipCur float64, cur, x, total int) float64 {
 	return recipCur - float64(cur-x)/float64(cur)*recipCur
 }
 
-// estimatedUnfairness predicts MAX/MIN slowdown for a candidate allocation
+// EstimatedUnfairness predicts MAX/MIN slowdown for a candidate allocation
 // given the current estimates (taken at allocation cur).
-func estimatedUnfairness(slow []float64, cur, cand []int, total int) float64 {
+func EstimatedUnfairness(slow []float64, cur, cand []int, total int) float64 {
 	var minR, maxR float64
 	for i := range slow {
 		s := slow[i]
@@ -246,36 +246,63 @@ func estimatedUnfairness(slow []float64, cur, cand []int, total int) float64 {
 // lowest predicted unfairness, along with that unfairness.
 func SearchBestPartition(slow []float64, cur []int, total, minSMs int) ([]int, float64) {
 	n := len(slow)
-	if n == 0 || minSMs*n > total {
+	if n == 0 {
 		return nil, 0
 	}
-	best := make([]int, n)
+	return SearchBestPartitionScratch(slow, cur, total, minSMs, make([]int, n), make([]int, n))
+}
+
+// SearchBestPartitionScratch is SearchBestPartition with caller-provided
+// scratch: best and cand must each hold at least len(slow) entries, and the
+// returned partition aliases best. It allocates nothing, which makes it
+// usable on per-request serving hot paths. Candidates are enumerated in
+// ascending lexicographic order (ties keep the earliest candidate), exactly
+// matching SearchBestPartition.
+func SearchBestPartitionScratch(slow []float64, cur []int, total, minSMs int, best, cand []int) ([]int, float64) {
+	n := len(slow)
+	if n == 0 || minSMs*n > total || len(best) < n || len(cand) < n {
+		return nil, 0
+	}
+	best, cand = best[:n], cand[:n]
+	for i := 0; i < n-1; i++ {
+		cand[i] = minSMs
+	}
+	cand[n-1] = total - minSMs*(n-1)
 	bestUnf := -1.0
-	cand := make([]int, n)
-	var rec func(i, left int)
-	rec = func(i, left int) {
-		if i == n-1 {
-			if left < minSMs {
-				return
-			}
-			cand[i] = left
-			u := estimatedUnfairness(slow, cur, cand, total)
-			if bestUnf < 0 || u < bestUnf {
-				bestUnf = u
-				copy(best, cand)
-			}
-			return
+	for {
+		u := EstimatedUnfairness(slow, cur, cand, total)
+		if bestUnf < 0 || u < bestUnf {
+			bestUnf = u
+			copy(best, cand)
 		}
-		// Leave at least minSMs for each remaining app.
-		maxHere := left - minSMs*(n-1-i)
-		for v := minSMs; v <= maxHere; v++ {
-			cand[i] = v
-			rec(i+1, left-v)
+		if !nextComposition(cand, total, minSMs) {
+			break
 		}
-	}
-	rec(0, total)
-	if bestUnf < 0 {
-		return nil, 0
 	}
 	return best, bestUnf
+}
+
+// nextComposition advances cand to the next composition of total into
+// len(cand) parts, each at least minSMs, in ascending lexicographic order of
+// the first len(cand)-1 positions (the last position is the remainder). It
+// reports false when cand already was the final composition.
+func nextComposition(cand []int, total, minSMs int) bool {
+	n := len(cand)
+	for j := n - 2; j >= 0; j-- {
+		pre := 1 // sum of cand[0..j] after incrementing cand[j]
+		for i := 0; i <= j; i++ {
+			pre += cand[i]
+		}
+		// Positions j+1..n-1 must each still get minSMs.
+		if total-pre < minSMs*(n-1-j) {
+			continue
+		}
+		cand[j]++
+		for i := j + 1; i < n-1; i++ {
+			cand[i] = minSMs
+		}
+		cand[n-1] = total - pre - minSMs*(n-2-j)
+		return true
+	}
+	return false
 }

@@ -61,7 +61,7 @@ func TestSearchPartitionProperties(t *testing.T) {
 		if sum != 16 {
 			return false
 		}
-		curUnf := estimatedUnfairness(slow, cur, cur, 16)
+		curUnf := EstimatedUnfairness(slow, cur, cur, 16)
 		return unf <= curUnf+1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {

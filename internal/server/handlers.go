@@ -27,6 +27,8 @@ var (
 //	GET    /v1/jobs/{id}/trace   the job's event trace (?format=chrome|ndjson)
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
 //	GET    /v1/kernels           the kernel catalogue
+//	POST   /v1/estimate          online DASE estimation (object or array batch)
+//	POST   /v1/estimate/stream   NDJSON request/response estimation stream
 //	GET    /healthz              liveness probe
 //	GET    /metrics              Prometheus text metrics
 func (s *Server) Handler() http.Handler {
@@ -37,6 +39,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/kernels", s.handleKernels)
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("POST /v1/estimate/stream", s.handleEstimateStream)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.logMiddleware(mux)
@@ -51,6 +55,20 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so streaming handlers (the NDJSON
+// estimation stream) can push lines through the middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer (the
+// stream handler needs EnableFullDuplex).
+func (r *statusRecorder) Unwrap() http.ResponseWriter {
+	return r.ResponseWriter
 }
 
 // logMiddleware emits one structured line per request, carrying the job id

@@ -38,6 +38,12 @@ type Metrics struct {
 	queueWait   *telemetry.Histogram // submission to first execution
 	jobDuration *telemetry.Histogram // wall time of finished jobs
 	estError    *telemetry.Histogram // |est-actual|/actual per DASE interval
+
+	estRequests *telemetry.Counter   // snapshots served by the online estimation API
+	estRejected *telemetry.Counter   // estimation requests refused (malformed or invalid input)
+	estStreams  *telemetry.Gauge     // NDJSON estimation streams in flight
+	estLatency  *telemetry.Histogram // per-body estimation service time (transport excluded)
+	estBatch    *telemetry.Histogram // snapshots per estimation body
 }
 
 func newMetrics(queueDepth func() int, cacheStats func() (uint64, uint64, uint64, int)) *Metrics {
@@ -68,6 +74,16 @@ func newMetrics(queueDepth func() int, cacheStats func() (uint64, uint64, uint64
 	m.estError = reg.Histogram("dased_estimation_error",
 		"Per-interval relative error of the DASE slowdown estimate against the measured slowdown.",
 		0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1)
+
+	m.estRequests = reg.Counter("dased_estimate_requests_total", "Counter snapshots estimated by the online API.")
+	m.estRejected = reg.Counter("dased_estimate_rejected_total", "Estimation requests rejected for malformed or invalid input.")
+	m.estStreams = reg.Gauge("dased_estimate_streams_active", "NDJSON estimation streams currently open.")
+	m.estLatency = reg.Histogram("dased_estimate_latency_seconds",
+		"Service time of one estimation body, decode to encode (HTTP transport excluded).",
+		0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.001, 0.005)
+	m.estBatch = reg.Histogram("dased_estimate_batch_size",
+		"Snapshots per estimation request body.",
+		1, 2, 4, 8, 16, 32, 64)
 
 	reg.GaugeFunc("dased_queue_depth", "Jobs waiting in the queue.",
 		func() float64 { return float64(queueDepth()) })

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"dasesim/internal/config"
+	"dasesim/internal/estimate"
 	"dasesim/internal/journal"
 	"dasesim/internal/kernels"
 	"dasesim/internal/simcache"
@@ -113,6 +114,14 @@ type Options struct {
 	// TraceDir, when set, additionally writes each finished job's trace as
 	// Chrome trace-event JSON to <TraceDir>/<jobID>.trace.json.
 	TraceDir string
+	// EstimateMinSMs is the default per-app minimum SM count for the
+	// online estimation endpoints' partition search (default 1).
+	EstimateMinSMs int
+	// EstimateMaxApps bounds apps per estimation snapshot (default 8).
+	EstimateMaxApps int
+	// EstimateMaxBody bounds estimate request bodies and NDJSON stream
+	// lines, in bytes (default 1 MiB).
+	EstimateMaxBody int64
 }
 
 // withDefaults fills unset options.
@@ -180,6 +189,9 @@ func (o Options) withDefaults() Options {
 	if o.TraceEvents < 0 {
 		o.TraceEvents = 0
 	}
+	if o.EstimateMaxBody <= 0 {
+		o.EstimateMaxBody = 1 << 20
+	}
 	return o
 }
 
@@ -192,6 +204,7 @@ type Server struct {
 	metrics *Metrics
 	queue   chan *Job
 	journal *journal.Journal
+	est     *estimate.Service
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -231,6 +244,11 @@ func New(opts Options) (*Server, error) {
 		rng:        rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64())),
 		jobs:       map[string]*Job{},
 	}
+	s.est = estimate.NewService(estimate.Options{
+		Cfg:     opts.Cfg,
+		MinSMs:  opts.EstimateMinSMs,
+		MaxApps: opts.EstimateMaxApps,
+	})
 	s.metrics = newMetrics(
 		func() int { return len(s.queue) },
 		func() (uint64, uint64, uint64, int) {

@@ -1,18 +1,58 @@
 #!/usr/bin/env bash
-# Runs the engine benchmark trio and appends the averaged numbers as a dated
-# entry to BENCH_cycles.json (see scripts/benchjson). Each entry is stamped
+# Runs a benchmark suite and appends the averaged numbers as a dated entry to
+# the matching trajectory file (see scripts/benchjson). Each entry is stamped
 # with the go version and GOMAXPROCS so numbers from different machines stay
-# comparable. Pass a note describing the state being measured:
+# comparable.
 #
-#   scripts/bench.sh "after MSHR index rework"
+#   scripts/bench.sh "after MSHR index rework"      # engine trio -> BENCH_cycles.json
+#   scripts/bench.sh serve "after codec change"     # serving path -> BENCH_serve.json
+#
+# The serve mode builds dased and daseload, starts a local daemon on a free
+# port, drives it closed-loop (saturation) and open-loop (fixed rate), runs
+# the in-process estimation micro-benchmarks, and appends everything as one
+# BENCH_serve.json entry.
 #
 # Environment:
-#   COUNT  benchmark repetitions per entry (default 5)
-#   BENCH  benchmark selector regex (default the engine trio)
+#   COUNT  benchmark repetitions per entry (default 5; serve micro-bench only)
+#   BENCH  engine benchmark selector regex (default the engine trio)
+#   CONNS  serve mode: closed-loop workers / open-loop in-flight cap (default 8)
+#   BATCH  serve mode: snapshots per request in the batched run (default 16)
+#   QPS    serve mode: open-loop target rate (default 8000)
+#   DUR    serve mode: measured duration per loop (default 5s)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
+
+if [ "${1:-}" = "serve" ]; then
+    NOTE="${2:-}"
+    CONNS="${CONNS:-8}"
+    BATCH="${BATCH:-16}"
+    QPS="${QPS:-8000}"
+    DUR="${DUR:-5s}"
+    ADDR="127.0.0.1:${PORT:-8876}"
+
+    tmp="$(mktemp -d)"
+    trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+    go build -o "$tmp/dased" ./cmd/dased
+    go build -o "$tmp/daseload" ./cmd/daseload
+
+    "$tmp/dased" -addr "$ADDR" >"$tmp/dased.log" 2>&1 &
+    daemon_pid=$!
+
+    {
+        "$tmp/daseload" -addr "http://$ADDR" -mode closed -conns "$CONNS" -duration "$DUR"
+        "$tmp/daseload" -addr "http://$ADDR" -mode closed -conns "$CONNS" -batch "$BATCH" \
+            -name "ServeClosedBatch$BATCH" -duration "$DUR"
+        "$tmp/daseload" -addr "http://$ADDR" -mode open -qps "$QPS" -conns $((CONNS * 16)) -duration "$DUR"
+        go test -run '^$' -bench 'ProcessSingle|ProcessBatch' -benchmem -count="$COUNT" ./internal/estimate
+    } | go run ./scripts/benchjson -out BENCH_serve.json -note "$NOTE"
+
+    kill "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+    exit 0
+fi
+
 BENCH="${BENCH:-GPUCycle|DASEEstimate|PartitionSearch}"
 NOTE="${1:-}"
 

@@ -27,11 +27,14 @@ import (
 )
 
 // BenchStats is the averaged result of one benchmark across repetitions.
+// Extra carries custom metrics (b.ReportMetric units like "qps" or
+// "p99-ns"), keyed by unit, averaged like the built-ins.
 type BenchStats struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	Runs        int     `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+	Runs        int                `json:"runs"`
 }
 
 // Entry is one dated measurement of the benchmark suite. GoVersion and
@@ -47,6 +50,13 @@ type Entry struct {
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// metricPair matches every "<value> <unit>" pair on a benchmark line; the
+// built-in units are filtered out so only custom metrics land in Extra.
+var metricPair = regexp.MustCompile(`([\d.]+(?:[eE][+-]?\d+)?) ([A-Za-z][A-Za-z0-9_/%.-]*)`)
+
+// builtinUnits are the go-test metrics already captured by named fields.
+var builtinUnits = map[string]bool{"ns/op": true, "B/op": true, "allocs/op": true, "MB/s": false}
 
 // parseBench scans `go test -bench` output, echoing every line to echo (so
 // the caller still sees the run) and averaging each benchmark's repetitions.
@@ -70,6 +80,15 @@ func parseBench(r io.Reader, echo io.Writer) (map[string]BenchStats, error) {
 		s.NsPerOp += atof(m[2])
 		s.BytesPerOp += atof(m[3])
 		s.AllocsPerOp += atof(m[4])
+		for _, pm := range metricPair.FindAllStringSubmatch(line, -1) {
+			if builtinUnits[pm[2]] {
+				continue
+			}
+			if s.Extra == nil {
+				s.Extra = map[string]float64{}
+			}
+			s.Extra[pm[2]] += atof(pm[1])
+		}
 		s.Runs++
 	}
 	if err := sc.Err(); err != nil {
@@ -81,12 +100,19 @@ func parseBench(r io.Reader, echo io.Writer) (map[string]BenchStats, error) {
 	avg := make(map[string]BenchStats, len(sums))
 	for name, s := range sums {
 		n := float64(s.Runs)
-		avg[name] = BenchStats{
+		st := BenchStats{
 			NsPerOp:     round1(s.NsPerOp / n),
 			BytesPerOp:  round1(s.BytesPerOp / n),
 			AllocsPerOp: round1(s.AllocsPerOp / n),
 			Runs:        s.Runs,
 		}
+		if s.Extra != nil {
+			st.Extra = make(map[string]float64, len(s.Extra))
+			for unit, sum := range s.Extra {
+				st.Extra[unit] = round1(sum / n)
+			}
+		}
+		avg[name] = st
 	}
 	return avg, nil
 }

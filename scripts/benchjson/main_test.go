@@ -126,3 +126,29 @@ func TestRound1(t *testing.T) {
 		}
 	}
 }
+
+func TestParseBenchExtraMetrics(t *testing.T) {
+	in := `BenchmarkServeClosed-8   	  100000	      8000 ns/op	  125000 qps	    7100 p50-ns	   11000 p95-ns	   20000 p99-ns
+BenchmarkServeClosed-8   	  100000	      9000 ns/op	  115000 qps	    7300 p50-ns	   13000 p95-ns	   22000 p99-ns
+`
+	got, err := parseBench(strings.NewReader(in), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := got["ServeClosed"]
+	if !ok {
+		t.Fatalf("ServeClosed missing from %v", got)
+	}
+	if s.Runs != 2 || s.NsPerOp != 8500 {
+		t.Errorf("ServeClosed averaged to %+v", s)
+	}
+	want := map[string]float64{"qps": 120000, "p50-ns": 7200, "p95-ns": 12000, "p99-ns": 21000}
+	for unit, v := range want {
+		if s.Extra[unit] != v {
+			t.Errorf("Extra[%q] = %v, want %v", unit, s.Extra[unit], v)
+		}
+	}
+	if _, ok := s.Extra["ns/op"]; ok {
+		t.Error("built-in ns/op must not be duplicated into Extra")
+	}
+}

@@ -10,6 +10,15 @@
 //	dased -journal dased.wal -max-retries 3   # crash-safe job journal
 //	dased -trace-dir traces -log-format json  # per-job Chrome traces
 //
+// Cluster mode shards jobs across several daemons by consistent hashing on
+// their simulation content address, with heartbeat failure detection,
+// journal hand-off from dead nodes, and work-stealing (same -peers string on
+// every node; -journal names a shared directory, one <node-id>.wal per
+// node):
+//
+//	dased -node-id n1 -peers n1=http://h1:8844,n2=http://h2:8844,n3=http://h3:8844 \
+//	      -journal /shared/dased -addr :8844
+//
 // Example session:
 //
 //	curl -s localhost:8844/v1/jobs -d '{"kernels":["SB","SD"],"slowdowns":true}'
@@ -37,12 +46,31 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"dasesim"
+	"dasesim/internal/cluster"
 	"dasesim/internal/server"
 )
+
+// parsePeers decodes the -peers flag: comma-separated id=url pairs.
+func parsePeers(s string) (map[string]string, error) {
+	peers := map[string]string{}
+	for _, pair := range strings.Split(s, ",") {
+		id, url, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", pair)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate node %q in -peers", id)
+		}
+		peers[id] = strings.TrimRight(url, "/")
+	}
+	return peers, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8844", "HTTP listen address")
@@ -52,7 +80,7 @@ func main() {
 	defaultCycles := flag.Uint64("default-cycles", 300_000, "cycle budget for jobs that omit cycles")
 	maxCycles := flag.Uint64("max-cycles", 20_000_000, "largest accepted cycle budget")
 	cacheEntries := flag.Int("cache", 512, "result-cache capacity in entries")
-	journalPath := flag.String("journal", "", "append job lifecycle records to this file and recover from it on startup")
+	journalPath := flag.String("journal", "", "append job lifecycle records to this file and recover from it on startup (cluster mode: a shared directory, one <node-id>.wal per node)")
 	maxRetries := flag.Int("max-retries", 2, "retries per job for transient failures (negative disables)")
 	shedHighWater := flag.Int("shed-highwater", 0, "queue length at which uncached submissions are shed (0: 3/4 of -queue, negative: off)")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "shutdown drain budget before running jobs are hard-cancelled")
@@ -67,6 +95,9 @@ func main() {
 	estMinSMs := flag.Int("estimate-min-sms", 0, "minimum SMs per app in recommended partitions (0: 1)")
 	estMaxApps := flag.Int("estimate-max-apps", 0, "most apps accepted per estimate snapshot (0: 8)")
 	estMaxBody := flag.Int64("estimate-max-body", 0, "largest accepted estimate body/stream line in bytes (0: 1 MiB)")
+	nodeID := flag.String("node-id", "", "this node's cluster identity; required with -peers")
+	peersFlag := flag.String("peers", "", "cluster peer map as comma-separated id=url pairs including this node; enables cluster mode")
+	hbInterval := flag.Duration("heartbeat-interval", time.Second, "cluster heartbeat period; suspicion and death timeouts scale from it")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -86,6 +117,7 @@ func main() {
 	}
 
 	opts := server.Options{
+		NodeID:            *nodeID,
 		Workers:           *workers,
 		QueueDepth:        *queueDepth,
 		JobTimeout:        *jobTimeout,
@@ -109,6 +141,22 @@ func main() {
 	if *maxRetries == 0 {
 		opts.MaxRetries = -1
 	}
+	clusterMode := *peersFlag != ""
+	journalDir := ""
+	if clusterMode {
+		if *nodeID == "" {
+			fatal("cluster init", errors.New("-peers requires -node-id"))
+		}
+		// In cluster mode -journal names the shared hand-off directory;
+		// this node's own journal lives inside it.
+		if *journalPath != "" {
+			journalDir = *journalPath
+			if err := os.MkdirAll(journalDir, 0o755); err != nil {
+				fatal("create journal dir", err)
+			}
+			opts.JournalPath = filepath.Join(journalDir, *nodeID+".wal")
+		}
+	}
 	if *configPath != "" {
 		cfg, err := dasesim.LoadConfig(*configPath)
 		if err != nil {
@@ -129,6 +177,28 @@ func main() {
 		fatal("server init", err)
 	}
 	srv.Start()
+
+	apiHandler := srv.Handler()
+	var node *cluster.Node
+	if clusterMode {
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			fatal("cluster init", err)
+		}
+		node, err = cluster.New(srv, cluster.Options{
+			Self:              *nodeID,
+			Peers:             peers,
+			HeartbeatInterval: *hbInterval,
+			JournalDir:        journalDir,
+			Logger:            logger,
+		})
+		if err != nil {
+			fatal("cluster init", err)
+		}
+		node.Start()
+		apiHandler = node.Handler()
+		logger.Info("cluster mode", "node", *nodeID, "peers", len(peers), "journal_dir", journalDir)
+	}
 
 	if *debugAddr != "" {
 		// The profiling endpoints live on their own listener so they are
@@ -153,7 +223,7 @@ func main() {
 	// LongPollMax to produce.
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           apiHandler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
@@ -177,6 +247,9 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(grace); err != nil {
 		logger.Error("http shutdown failed", "err", err)
+	}
+	if node != nil {
+		node.Stop()
 	}
 	if err := srv.Shutdown(grace); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Error("drain failed", "err", err)

@@ -110,28 +110,82 @@ func main() {
 		fatal("unknown -mode %q (closed | open)", *mode)
 	}
 
-	if res.errs > 0 {
-		fmt.Fprintf(os.Stderr, "daseload: %d requests failed\n", res.errs)
+	if n := res.errs(); n > 0 {
+		fmt.Fprintf(os.Stderr, "daseload: %d requests failed\n", n)
+		for _, code := range sortedCodes(res.statusErr) {
+			fmt.Fprintf(os.Stderr, "daseload:   HTTP %d: %d\n", code, res.statusErr[code])
+		}
+		if res.transport > 0 {
+			fmt.Fprintf(os.Stderr, "daseload:   transport (no response): %d\n", res.transport)
+		}
 	}
 	s, ok := summarize(res, *batch)
 	if !ok {
 		fatal("no successful requests")
 	}
-	fmt.Println(benchLine(benchName, *conns, s))
+	fmt.Println(benchLine(benchName, *conns, s, res))
 	fmt.Fprintf(os.Stderr, "daseload: %d requests in %v: %.0f qps (%.0f estimates/s), p50 %v p95 %v p99 %v\n",
 		s.n, res.elapsed.Round(time.Millisecond), s.qps, s.eps,
 		time.Duration(s.p50), time.Duration(s.p95), time.Duration(s.p99))
-	if res.errs > 0 {
+	if res.errs() > 0 {
 		os.Exit(1)
 	}
 }
 
+// sortedCodes returns the map's status codes in ascending order so the
+// failure report is stable run to run.
+func sortedCodes(m map[int]int64) []int {
+	codes := make([]int, 0, len(m))
+	for c := range m {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	return codes
+}
+
 // runResult is the raw outcome of one loop: per-request latencies in
-// nanoseconds (unsorted), failure count, and wall time spent.
+// nanoseconds (unsorted), failures broken out by kind, and wall time spent.
+// HTTP failures are counted per status code — a 429 (shed load) and a 500
+// (broken server) are very different findings — and transport errors
+// (refused, reset, timeout) separately from any HTTP answer at all.
 type runResult struct {
-	lats    []int64
-	errs    int64
-	elapsed time.Duration
+	lats      []int64
+	statusErr map[int]int64 // non-2xx responses by status code
+	transport int64         // requests that never got an HTTP response
+	elapsed   time.Duration
+}
+
+// errs is the total failed-request count.
+func (r *runResult) errs() int64 {
+	n := r.transport
+	for _, c := range r.statusErr {
+		n += c
+	}
+	return n
+}
+
+// countErr files one failure; a zero status means no response arrived.
+func (r *runResult) countErr(status int) {
+	if status == 0 {
+		r.transport++
+		return
+	}
+	if r.statusErr == nil {
+		r.statusErr = map[int]int64{}
+	}
+	r.statusErr[status]++
+}
+
+// merge folds another result's latencies and failure counts into r.
+func (r *runResult) merge(o runResult) {
+	r.lats = append(r.lats, o.lats...)
+	r.transport += o.transport
+	for code, n := range o.statusErr {
+		if r.statusErr == nil {
+			r.statusErr = map[int]int64{}
+		}
+		r.statusErr[code] += n
+	}
 }
 
 // stats condenses a runResult for reporting. qps counts HTTP requests; eps
@@ -148,8 +202,7 @@ type stats struct {
 // back-to-back for d. Latency is the individual request duration.
 func closedLoop(c *http.Client, url string, corpus [][]byte, conns int, d time.Duration) runResult {
 	var next uint64
-	lats := make([][]int64, conns)
-	errs := make([]int64, conns)
+	perWorker := make([]runResult, conns)
 	var wg sync.WaitGroup
 	start := time.Now()
 	deadline := start.Add(d)
@@ -161,19 +214,18 @@ func closedLoop(c *http.Client, url string, corpus [][]byte, conns int, d time.D
 				i := atomic.AddUint64(&next, 1)
 				body := corpus[int(i)%len(corpus)]
 				t0 := time.Now()
-				if err := postOnce(c, url, body); err != nil {
-					errs[w]++
+				if status, err := postOnce(c, url, body); err != nil {
+					perWorker[w].countErr(status)
 					continue
 				}
-				lats[w] = append(lats[w], time.Since(t0).Nanoseconds())
+				perWorker[w].lats = append(perWorker[w].lats, time.Since(t0).Nanoseconds())
 			}
 		}(w)
 	}
 	wg.Wait()
 	res := runResult{elapsed: time.Since(start)}
-	for w := range lats {
-		res.lats = append(res.lats, lats[w]...)
-		res.errs += errs[w]
+	for w := range perWorker {
+		res.merge(perWorker[w])
 	}
 	return res
 }
@@ -189,8 +241,7 @@ func openLoop(c *http.Client, url string, corpus [][]byte, qps float64, maxInFli
 	}
 	sem := make(chan struct{}, maxInFlight)
 	var mu sync.Mutex
-	var lats []int64
-	var errs int64
+	var res runResult
 	var wg sync.WaitGroup
 	start := time.Now()
 	deadline := start.Add(d)
@@ -207,36 +258,43 @@ func openLoop(c *http.Client, url string, corpus [][]byte, qps float64, maxInFli
 		go func(sched time.Time, body []byte) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if err := postOnce(c, url, body); err != nil {
-				atomic.AddInt64(&errs, 1)
+			status, err := postOnce(c, url, body)
+			if err != nil {
+				mu.Lock()
+				res.countErr(status)
+				mu.Unlock()
 				return
 			}
 			lat := time.Since(sched).Nanoseconds()
 			mu.Lock()
-			lats = append(lats, lat)
+			res.lats = append(res.lats, lat)
 			mu.Unlock()
 		}(sched, corpus[i%len(corpus)])
 	}
 	wg.Wait()
-	return runResult{lats: lats, errs: errs, elapsed: time.Since(start)}
+	res.elapsed = time.Since(start)
+	return res
 }
 
 // postOnce issues one estimate request, draining and closing the response so
-// the transport can reuse the connection. Any non-200 answer is an error.
-func postOnce(c *http.Client, url string, body []byte) error {
+// the transport can reuse the connection. It returns the HTTP status (0 when
+// no response arrived) and non-nil err for any failure; a non-200 answer is
+// an error carrying its status, so callers can count refusals per code
+// separately from transport breakage.
+func postOnce(c *http.Client, url string, body []byte) (int, error) {
 	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	_, cerr := io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if cerr != nil {
-		return cerr
+		return 0, cerr
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d", resp.StatusCode)
+		return resp.StatusCode, fmt.Errorf("status %d", resp.StatusCode)
 	}
-	return nil
+	return resp.StatusCode, nil
 }
 
 // waitReady polls the health endpoint until the daemon answers or the
@@ -304,10 +362,20 @@ func percentile(sorted []int64, p float64) int64 {
 
 // benchLine renders the run as one `go test -bench`-style line. The custom
 // units (qps, p50-ns, ...) ride after the standard ns/op column and are
-// picked up by scripts/benchjson into the entry's extra map.
-func benchLine(name string, conns int, s stats) string {
-	return fmt.Sprintf("Benchmark%s-%d\t%8d\t%10.0f ns/op\t%12.1f qps\t%12.1f eps\t%10d p50-ns\t%10d p95-ns\t%10d p99-ns",
+// picked up by scripts/benchjson into the entry's extra map. Failures append
+// too, broken out per status code (err-429, err-503, ...) and as
+// err-transport, so the trajectory records what kind of refusals a run hit —
+// but only when non-zero, keeping clean runs' lines clean.
+func benchLine(name string, conns int, s stats, res runResult) string {
+	line := fmt.Sprintf("Benchmark%s-%d\t%8d\t%10.0f ns/op\t%12.1f qps\t%12.1f eps\t%10d p50-ns\t%10d p95-ns\t%10d p99-ns",
 		name, conns, s.n, s.mean, s.qps, s.eps, s.p50, s.p95, s.p99)
+	for _, code := range sortedCodes(res.statusErr) {
+		line += fmt.Sprintf("\t%10d err-%d", res.statusErr[code], code)
+	}
+	if res.transport > 0 {
+		line += fmt.Sprintf("\t%10d err-transport", res.transport)
+	}
+	return line
 }
 
 // batchCorpus groups size consecutive corpus entries into one JSON array

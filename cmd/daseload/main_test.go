@@ -87,7 +87,7 @@ func TestBatchCorpus(t *testing.T) {
 func TestBenchLineParseable(t *testing.T) {
 	line := benchLine("ServeClosed", 8, stats{
 		n: 250000, qps: 50123.4, eps: 50123.4, mean: 8123, p50: 7100, p95: 11000, p99: 20000,
-	})
+	}, runResult{statusErr: map[int]int64{429: 12, 503: 3}, transport: 2})
 	benchRe := regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
 	m := benchRe.FindStringSubmatch(line)
 	if m == nil {
@@ -96,7 +96,7 @@ func TestBenchLineParseable(t *testing.T) {
 	if m[1] != "BenchmarkServeClosed" {
 		t.Errorf("parsed name %q", m[1])
 	}
-	for _, unit := range []string{"qps", "eps", "p50-ns", "p95-ns", "p99-ns"} {
+	for _, unit := range []string{"qps", "eps", "p50-ns", "p95-ns", "p99-ns", "err-429", "err-503", "err-transport"} {
 		if !strings.Contains(line, " "+unit) {
 			t.Errorf("line missing %s metric: %q", unit, line)
 		}
@@ -160,8 +160,8 @@ func TestClosedLoopEndToEnd(t *testing.T) {
 	ts := newLoadTestServer(t)
 	corpus := testCorpus(t)
 	res := closedLoop(ts.Client(), ts.URL+"/v1/estimate", corpus, 2, 200*time.Millisecond)
-	if res.errs != 0 {
-		t.Fatalf("%d requests failed", res.errs)
+	if n := res.errs(); n != 0 {
+		t.Fatalf("%d requests failed", n)
 	}
 	s, ok := summarize(res, 1)
 	if !ok || s.n == 0 {
@@ -179,8 +179,8 @@ func TestOpenLoopEndToEnd(t *testing.T) {
 	ts := newLoadTestServer(t)
 	corpus := testCorpus(t)
 	res := openLoop(ts.Client(), ts.URL+"/v1/estimate", corpus, 500, 16, 200*time.Millisecond)
-	if res.errs != 0 {
-		t.Fatalf("%d requests failed", res.errs)
+	if n := res.errs(); n != 0 {
+		t.Fatalf("%d requests failed", n)
 	}
 	s, ok := summarize(res, 1)
 	if !ok {
@@ -200,5 +200,53 @@ func TestWaitReady(t *testing.T) {
 	}
 	if err := waitReady(http.DefaultClient, "http://127.0.0.1:1/healthz", 100*time.Millisecond); err == nil {
 		t.Error("unreachable server must time out")
+	}
+}
+
+// TestErrorClassification checks failures land in the right bucket: non-2xx
+// responses counted per status code, connection failures counted as
+// transport errors, and successes in neither.
+func TestErrorClassification(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {})
+	mux.HandleFunc("/shed", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	mux.HandleFunc("/drain", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	var res runResult
+	post := func(url string, times int) {
+		for i := 0; i < times; i++ {
+			if status, err := postOnce(ts.Client(), url, []byte("{}")); err != nil {
+				res.countErr(status)
+			}
+		}
+	}
+	post(ts.URL+"/ok", 2)
+	post(ts.URL+"/shed", 3)
+	post(ts.URL+"/drain", 1)
+	post("http://127.0.0.1:1/unreachable", 2)
+
+	if res.statusErr[429] != 3 || res.statusErr[503] != 1 {
+		t.Errorf("statusErr = %v, want 429:3 503:1", res.statusErr)
+	}
+	if res.transport != 2 {
+		t.Errorf("transport = %d, want 2", res.transport)
+	}
+	if got := res.errs(); got != 6 {
+		t.Errorf("errs() = %d, want 6", got)
+	}
+
+	// merge must preserve the breakdown across worker results.
+	var merged runResult
+	merged.merge(res)
+	merged.merge(runResult{statusErr: map[int]int64{429: 1}, transport: 1})
+	if merged.statusErr[429] != 4 || merged.transport != 3 || merged.errs() != 8 {
+		t.Errorf("merged = %v/%d (total %d), want 429:4 transport:3 total 8",
+			merged.statusErr, merged.transport, merged.errs())
 	}
 }

@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dasesim/internal/server"
+)
+
+// TestHeartbeatSeqStartsAtZero pins the restart contract between the
+// heartbeat sender and Membership.Observe: the first heartbeat a (re)started
+// node sends must carry seq 0, the one value Observe always applies. A node
+// that restarts after a long uptime would otherwise be dropped as stale by
+// its peers until its fresh sequence outran the old incarnation's — one
+// heartbeat interval per step.
+func TestHeartbeatSeqStartsAtZero(t *testing.T) {
+	var got []uint64
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var hb heartbeatBody
+		if err := json.NewDecoder(r.Body).Decode(&hb); err != nil {
+			t.Errorf("bad heartbeat body: %v", err)
+		}
+		got = append(got, hb.Seq)
+	}))
+	defer peer.Close()
+
+	srv, err := server.New(server.Options{
+		NodeID: "n1",
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Kill()
+	n, err := New(srv, Options{
+		Self:   "n1",
+		Peers:  map[string]string{"n1": "http://unused", "n2": peer.URL},
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the sender directly instead of Start() so the test sees an exact
+	// sequence rather than a timing-dependent prefix.
+	defer n.cancel()
+	for i := 0; i < 3; i++ {
+		n.sendHeartbeats()
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("heartbeat seqs = %v, want [0 1 2]", got)
+	}
+}

@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// PeerState is a peer's liveness classification.
+type PeerState int
+
+const (
+	// StateAlive: a heartbeat arrived within SuspectAfter.
+	StateAlive PeerState = iota
+	// StateSuspect: silent past SuspectAfter — still routed to, but
+	// deprioritized for new work.
+	StateSuspect
+	// StateDead: silent past DeadAfter — its shard fails over and its
+	// journal becomes claimable.
+	StateDead
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// PeerInfo is a point-in-time view of one peer.
+type PeerInfo struct {
+	ID       string
+	State    PeerState
+	QueueLen int       // last heartbeat's queue depth
+	Ready    bool      // last heartbeat's readiness
+	LastSeen time.Time // zero until the first heartbeat
+}
+
+// Membership tracks liveness for a static peer list by heartbeat arrival
+// times. There is no gossip and no dynamic join: the cluster is configured
+// once, and a restarted node re-announces itself with its first heartbeat.
+// Transitions are evaluated by Tick (call it from the heartbeat loop);
+// OnDead/OnAlive callbacks fire outside the lock, once per transition.
+type Membership struct {
+	mu           sync.Mutex
+	self         string
+	peers        map[string]*peerRecord
+	suspectAfter time.Duration
+	deadAfter    time.Duration
+	onDead       func(string)
+	onAlive      func(string)
+	now          func() time.Time // injectable for tests
+}
+
+type peerRecord struct {
+	state    PeerState
+	lastSeen time.Time
+	seq      uint64
+	queueLen int
+	ready    bool
+	everSeen bool
+}
+
+// NewMembership tracks the given peers (the list must not contain self). A
+// freshly tracked peer starts Alive with LastSeen = now, so a cluster booting
+// all nodes at once does not declare everyone dead before the first
+// heartbeats land; a peer that never speaks still dies after DeadAfter.
+func NewMembership(self string, peers []string, suspectAfter, deadAfter time.Duration) *Membership {
+	m := &Membership{
+		self:         self,
+		peers:        make(map[string]*peerRecord, len(peers)),
+		suspectAfter: suspectAfter,
+		deadAfter:    deadAfter,
+		now:          time.Now,
+	}
+	start := m.now()
+	for _, p := range peers {
+		m.peers[p] = &peerRecord{state: StateAlive, lastSeen: start}
+	}
+	return m
+}
+
+// OnDead registers the callback fired when a peer transitions to Dead.
+// Register before the first Tick.
+func (m *Membership) OnDead(fn func(peer string)) { m.onDead = fn }
+
+// OnAlive registers the callback fired when a previously Dead peer is heard
+// from again (partition heal or restart). Register before the first Tick.
+func (m *Membership) OnAlive(fn func(peer string)) { m.onAlive = fn }
+
+// Observe records a heartbeat (or any authenticated contact) from a peer.
+// Out-of-order heartbeats by sequence number are dropped so a delayed packet
+// cannot resurrect stale queue stats; a seq of 0 always applies (restarted
+// peers reset their counter).
+func (m *Membership) Observe(peer string, seq uint64, queueLen int, ready bool) {
+	m.mu.Lock()
+	rec, ok := m.peers[peer]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	if rec.everSeen && seq != 0 && seq < rec.seq {
+		m.mu.Unlock()
+		return
+	}
+	wasDead := rec.state == StateDead
+	rec.state = StateAlive
+	rec.lastSeen = m.now()
+	rec.seq = seq
+	rec.queueLen = queueLen
+	rec.ready = ready
+	rec.everSeen = true
+	cb := m.onAlive
+	m.mu.Unlock()
+	if wasDead && cb != nil {
+		cb(peer)
+	}
+}
+
+// Tick re-evaluates every peer against the suspicion and death timeouts and
+// fires OnDead for fresh deaths. Call it at the heartbeat interval.
+func (m *Membership) Tick() {
+	m.mu.Lock()
+	now := m.now()
+	var died []string
+	for id, rec := range m.peers {
+		silent := now.Sub(rec.lastSeen)
+		switch {
+		case silent >= m.deadAfter && rec.state != StateDead:
+			rec.state = StateDead
+			died = append(died, id)
+		case silent >= m.suspectAfter && rec.state == StateAlive:
+			rec.state = StateSuspect
+		}
+	}
+	cb := m.onDead
+	m.mu.Unlock()
+	if cb != nil {
+		for _, id := range died {
+			cb(id)
+		}
+	}
+}
+
+// State returns a peer's current classification; self is always Alive and an
+// unknown ID is Dead (never routed to).
+func (m *Membership) State(peer string) PeerState {
+	if peer == m.self {
+		return StateAlive
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.peers[peer]
+	if !ok {
+		return StateDead
+	}
+	return rec.state
+}
+
+// Snapshot returns every tracked peer's info, for metrics and debugging.
+func (m *Membership) Snapshot() []PeerInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]PeerInfo, 0, len(m.peers))
+	for id, rec := range m.peers {
+		info := PeerInfo{ID: id, State: rec.state, QueueLen: rec.queueLen, Ready: rec.ready}
+		if rec.everSeen {
+			info.LastSeen = rec.lastSeen
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// QuorumOK reports whether this node is in the majority component: itself
+// plus non-Dead peers must exceed half the cluster. A minority node keeps
+// serving reads but reports unready, steering load balancers to the
+// majority side of a partition.
+func (m *Membership) QuorumOK() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	alive := 1 // self
+	for _, rec := range m.peers {
+		if rec.state != StateDead {
+			alive++
+		}
+	}
+	return alive*2 > len(m.peers)+1
+}
+
+// Busiest returns the alive peer with the deepest queue at its last
+// heartbeat, provided it exceeds min; ok is false when no peer qualifies.
+// The steal loop uses it to pick a victim.
+func (m *Membership) Busiest(min int) (peer string, depth int, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, rec := range m.peers {
+		if rec.state == StateAlive && rec.everSeen && rec.queueLen > min &&
+			(!ok || rec.queueLen > depth || (rec.queueLen == depth && id < peer)) {
+			peer, depth, ok = id, rec.queueLen, true
+		}
+	}
+	return peer, depth, ok
+}

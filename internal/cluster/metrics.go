@@ -1,0 +1,58 @@
+package cluster
+
+import "dasesim/internal/telemetry"
+
+// metrics are the cluster layer's observability signals, registered on the
+// co-located server's registry so one /metrics scrape covers both layers.
+type metrics struct {
+	peerAlive      *telemetry.GaugeVec // 1 alive, 0.5 suspect, 0 dead, per peer
+	peerQueue      *telemetry.GaugeVec // last heartbeat queue depth, per peer
+	heartbeatsSent *telemetry.Counter
+	heartbeatsFail *telemetry.Counter
+	forwards       *telemetry.Counter // submissions routed to a peer
+	fallbacks      *telemetry.Counter // preference-list retries after a refusal
+	handoffJobs    *telemetry.Counter // non-terminal jobs resubmitted from a claimed journal
+	handoffSeeded  *telemetry.Counter // finished results seeded from a claimed journal
+	steals         *telemetry.Counter // jobs pulled from a saturated peer
+	dupResults     *telemetry.Counter // reconciliation: results both sides computed
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	return &metrics{
+		peerAlive: reg.GaugeVec("dased_cluster_peer_alive",
+			"Peer liveness: 1 alive, 0.5 suspect, 0 dead.", "peer"),
+		peerQueue: reg.GaugeVec("dased_cluster_peer_queue_depth",
+			"Peer queue depth at its last heartbeat.", "peer"),
+		heartbeatsSent: reg.Counter("dased_cluster_heartbeats_sent_total",
+			"Heartbeats successfully delivered to peers."),
+		heartbeatsFail: reg.Counter("dased_cluster_heartbeats_failed_total",
+			"Heartbeat sends that errored (includes injected partitions)."),
+		forwards: reg.Counter("dased_cluster_forwards_total",
+			"Submissions routed to the owning peer."),
+		fallbacks: reg.Counter("dased_cluster_fallbacks_total",
+			"Submissions retried on the next preference after a refusal."),
+		handoffJobs: reg.Counter("dased_cluster_handoff_jobs_total",
+			"Non-terminal jobs resubmitted from a dead peer's claimed journal."),
+		handoffSeeded: reg.Counter("dased_cluster_handoff_results_seeded_total",
+			"Finished results recovered from a dead peer's claimed journal."),
+		steals: reg.Counter("dased_cluster_steals_total",
+			"Queued jobs pulled from a saturated peer."),
+		dupResults: reg.Counter("dased_cluster_duplicate_results_total",
+			"Results found already present during partition-heal reconciliation."),
+	}
+}
+
+// observePeers mirrors the membership snapshot into the per-peer gauges.
+func (m *metrics) observePeers(infos []PeerInfo) {
+	for _, p := range infos {
+		v := 0.0
+		switch p.State {
+		case StateAlive:
+			v = 1
+		case StateSuspect:
+			v = 0.5
+		}
+		m.peerAlive.With(p.ID).Set(v)
+		m.peerQueue.With(p.ID).Set(float64(p.QueueLen))
+	}
+}

@@ -1,0 +1,126 @@
+// Package cluster turns a set of dased servers into a sharded, crash-tolerant
+// job cluster. Jobs are routed by consistent hashing on their simulation
+// content address (the simcache key), so identical submissions land on — and
+// share the result cache of — one node. A lightweight static-peer membership
+// detects node death by heartbeat silence and hands a dead node's journaled,
+// non-terminal jobs to the next node in the key's preference order. Idle
+// nodes steal queued work from saturated peers, and batch submissions
+// scatter-gather across the ring.
+//
+// The cluster is AP-flavoured: there is no consensus, and every recovery
+// action is at-least-once. Correctness leans on the fact that simulations are
+// deterministic functions of their content address — running a job twice on
+// two sides of a partition produces byte-identical results, and the caches
+// reconcile by content address when the partition heals.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultReplicas is the virtual-node count per physical node. 64 vnodes keep
+// the shard imbalance of a small (3-10 node) ring under a few percent without
+// making Preference scans noticeable.
+const defaultReplicas = 64
+
+// Ring is an immutable consistent-hash ring over the cluster's node IDs.
+// Membership changes do not rebuild the ring: routing always consults the
+// full static peer list, and liveness filtering happens at call sites via the
+// preference order. That keeps shard ownership stable across restarts, which
+// the journal hand-off relies on.
+type Ring struct {
+	nodes  []string
+	hashes []uint64          // sorted vnode positions
+	owner  map[uint64]string // vnode position -> node ID
+}
+
+// NewRing builds a ring with the default vnode count. Node IDs must be
+// non-empty and unique.
+func NewRing(nodes []string) (*Ring, error) {
+	return newRing(nodes, defaultReplicas)
+}
+
+func newRing(nodes []string, replicas int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	r := &Ring{owner: make(map[uint64]string, len(nodes)*replicas)}
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node ID")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate node ID %q", n)
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for v := 0; v < replicas; v++ {
+			h := hash64(fmt.Sprintf("%s#%d", n, v))
+			// A vnode collision across nodes would silently shrink a shard;
+			// perturb until free (deterministic, effectively never loops).
+			for _, taken := r.owner[h]; taken; _, taken = r.owner[h] {
+				h++
+			}
+			r.owner[h] = n
+			r.hashes = append(r.hashes, h)
+		}
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+	sort.Strings(r.nodes)
+	return r, nil
+}
+
+// Nodes returns the ring's node IDs, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owner returns the node owning key: the first vnode at or clockwise of the
+// key's hash.
+func (r *Ring) Owner(key string) string {
+	return r.owner[r.hashes[r.search(key)]]
+}
+
+// Preference returns every node exactly once, in the order a job with this
+// key should try them: the owner first, then successive distinct nodes
+// clockwise. Hand-off sends a dead owner's jobs to the next entry, so the
+// order must be a pure function of the key — it is.
+func (r *Ring) Preference(key string) []string {
+	out := make([]string, 0, len(r.nodes))
+	seen := make(map[string]bool, len(r.nodes))
+	start := r.search(key)
+	for n := 0; n < len(r.hashes) && len(out) < len(r.nodes); n++ {
+		id := r.owner[r.hashes[(start+n)%len(r.hashes)]]
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// search finds the index of the first vnode at or clockwise of the key.
+func (r *Ring) search(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return i
+}
+
+// hash64 is FNV-1a with a splitmix64 finalizer: plain FNV of short, similar
+// strings ("n1#0", "n1#1", ...) clusters on the ring badly enough to skew
+// shard sizes 5x; the finalizer's avalanche restores uniform vnode spacing.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

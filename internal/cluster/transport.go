@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"dasesim/internal/faults"
+)
+
+// HopHeader marks a request already routed by a peer. A node receiving it
+// serves the request locally instead of consulting the ring again, which
+// caps every submission at one forwarding hop and makes routing loops
+// impossible even when two nodes disagree about liveness.
+const HopHeader = "X-Dased-Cluster-Hop"
+
+// transport issues intra-cluster HTTP requests with network fault injection.
+// Every request passes three labeled fault points — cluster.dial for
+// connection establishment, then cluster.heartbeat or cluster.rpc by path —
+// labeled "src->dst", so a test can sever exactly one direction of one link
+// (an asymmetric partition) while the rest of the mesh stays healthy.
+type transport struct {
+	self   string
+	client *http.Client
+}
+
+func newTransport(self string, timeout time.Duration) *transport {
+	return &transport{
+		self:   self,
+		client: &http.Client{Timeout: timeout},
+	}
+}
+
+// roundTrip sends one intra-cluster request and returns the status and body.
+// Injected partitions surface as transport errors (the caller cannot tell
+// them from a dead peer, by design), never as HTTP statuses.
+func (t *transport) roundTrip(ctx context.Context, to, method, url string, body []byte) (int, []byte, error) {
+	label := t.self + "->" + to
+	if err := faults.FireLabeledCtx(ctx, "cluster.dial", label); err != nil {
+		return 0, nil, fmt.Errorf("cluster: dial %s: %w", to, err)
+	}
+	point := "cluster.rpc"
+	if strings.Contains(url, "/cluster/v1/heartbeat") {
+		point = "cluster.heartbeat"
+	}
+	if err := faults.FireLabeledCtx(ctx, point, label); err != nil {
+		return 0, nil, fmt.Errorf("cluster: rpc %s: %w", to, err)
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(HopHeader, t.self)
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}

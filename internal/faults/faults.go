@@ -15,12 +15,11 @@
 //	faults.Activate(reg)
 //	defer faults.Deactivate()
 //
-// The named points wired through this repository are:
-//
-//	sim.step       — the simulation chunk loop in (*sim.GPU).RunContext
-//	simcache.get   — (*simcache.Memory).GetOrCompute, before lookup
-//	journal.append — (*journal.Journal).Append, before the write
-//	server.worker  — the job runner, after the queued→running transition
+// The named points wired through this repository are listed by Points; the
+// network-level points (cluster.dial, cluster.rpc, cluster.heartbeat) fire
+// with a "src->dst" label so tests can arm asymmetric partitions: a Spec with
+// a Label only triggers for that one direction, a Spec without one triggers
+// for every call at the point.
 package faults
 
 import (
@@ -37,6 +36,33 @@ import (
 // Callers that retry on transient failures treat it as retryable.
 var ErrInjected = errors.New("injected fault")
 
+// ErrPartitioned is the default error returned by an armed ModePartition
+// point: the network analogue of ErrInjected. The cluster layer treats it
+// like an unreachable peer and routes around it.
+var ErrPartitioned = errors.New("injected network partition")
+
+// Point describes one injection point wired through the repository.
+type Point struct {
+	Name string
+	Doc  string
+}
+
+// Points returns every injection-point name wired through this repository,
+// in stable order. The faults test suite iterates this list so a new point
+// cannot ship without error/panic/sleep coverage.
+func Points() []Point {
+	return []Point{
+		{"sim.step", "the simulation chunk loop in (*sim.GPU).RunContext"},
+		{"simcache.get", "(*simcache.Memory).GetOrCompute, before lookup"},
+		{"journal.append", "(*journal.Journal).Append, before the write"},
+		{"journal.dirsync", "the parent-directory fsync after journal compaction renames"},
+		{"server.worker", "the job runner, after the queued→running transition"},
+		{"cluster.dial", "peer connection establishment, labeled src->dst"},
+		{"cluster.rpc", "every non-heartbeat peer RPC, labeled src->dst"},
+		{"cluster.heartbeat", "membership heartbeats, labeled src->dst"},
+	}
+}
+
 // Mode is what an armed injection point does when it triggers.
 type Mode int
 
@@ -48,12 +74,21 @@ const (
 	// ModeSleep makes Fire sleep for Spec.Delay (or until ctx expires,
 	// returning ctx.Err()), exercising deadline-overrun paths.
 	ModeSleep
+	// ModePartition makes Fire return Spec.Err (ErrPartitioned by default) —
+	// semantically a dropped network link rather than a failed operation.
+	// Combined with Spec.Label it cuts one direction of one peer pair,
+	// which is how tests build asymmetric partitions.
+	ModePartition
 )
 
 // Spec arms one injection point.
 type Spec struct {
 	// Point is the injection-point name, e.g. "journal.append".
 	Point string
+	// Label restricts the spec to FireLabeled calls with an equal label
+	// (the cluster transport labels calls "src->dst"). Empty matches every
+	// call at the point, labeled or not.
+	Label string
 	// Mode selects the failure behaviour.
 	Mode Mode
 	// P is the trigger probability per Fire call; values outside (0,1)
@@ -124,10 +159,15 @@ type action struct {
 }
 
 // fire evaluates the specs armed at point and performs at most one action.
-func (r *Registry) fire(ctx context.Context, point string) error {
+// label is empty for unlabeled Fire calls; a spec with a label only matches
+// calls carrying the same label.
+func (r *Registry) fire(ctx context.Context, point, label string) error {
 	r.mu.Lock()
 	var act *action
 	for _, a := range r.specs[point] {
+		if a.spec.Label != "" && a.spec.Label != label {
+			continue
+		}
 		if a.spec.Count > 0 && a.hits >= a.spec.Count {
 			continue
 		}
@@ -155,6 +195,12 @@ func (r *Registry) fire(ctx context.Context, point string) error {
 		case <-ctx.Done():
 			return ctx.Err()
 		}
+	case ModePartition:
+		err := act.err
+		if err == nil {
+			err = ErrPartitioned
+		}
+		return fmt.Errorf("faults: %s: %w", act.point, err)
 	default:
 		err := act.err
 		if err == nil {
@@ -181,9 +227,21 @@ func Fire(point string) error { return FireCtx(context.Background(), point) }
 // FireCtx triggers the injection point; a ModeSleep trigger returns ctx.Err()
 // early when ctx expires mid-sleep. It returns nil when nothing is armed.
 func FireCtx(ctx context.Context, point string) error {
+	return FireLabeledCtx(ctx, point, "")
+}
+
+// FireLabeled triggers the injection point with a call-site label (the
+// cluster transport uses "src->dst"), matching both labeled specs with an
+// equal label and unlabeled point-wide specs.
+func FireLabeled(point, label string) error {
+	return FireLabeledCtx(context.Background(), point, label)
+}
+
+// FireLabeledCtx is FireLabeled with a context bounding ModeSleep triggers.
+func FireLabeledCtx(ctx context.Context, point, label string) error {
 	r := active.Load()
 	if r == nil {
 		return nil
 	}
-	return r.fire(ctx, point)
+	return r.fire(ctx, point, label)
 }

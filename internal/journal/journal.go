@@ -234,18 +234,53 @@ func (j *Journal) Rewrite(recs []Record) error {
 		os.Remove(tmp)
 		return fmt.Errorf("journal: rewrite rename: %w", err)
 	}
-	// Make the rename durable; failures here are non-fatal (the data is
-	// already safe in one of the two files).
-	if d, err := os.Open(filepath.Dir(j.path)); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
-	// f now refers to the renamed file and is positioned at its end.
+	// f now refers to the renamed file and is positioned at its end. The
+	// journal switches to it regardless of what the directory sync below
+	// reports — the rename has happened.
 	j.f.Close()
 	j.f = f
 	j.seq = seq
 	j.count = len(recs)
+	// fsync the parent directory so the rename itself survives power loss:
+	// data blocks and the inode were made durable by f.Sync above, but the
+	// directory entry pointing the journal's name at the new inode is its
+	// own write. A failure is surfaced (the caller counts it) even though
+	// both the old and the new file contents are individually durable — an
+	// unsynced rename can roll back to the pre-compaction journal after a
+	// power cut, silently resurrecting forgotten records.
+	if err := syncDir(filepath.Dir(j.path)); err != nil {
+		return fmt.Errorf("journal: rewrite dirsync: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory, making renames inside it durable. The
+// "journal.dirsync" fault point injects the failure modes of the real call
+// (filesystems that reject directory fsync, dying disks).
+func syncDir(dir string) error {
+	if err := faults.Fire("journal.dirsync"); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Load replays the journal at path without opening it for appending: the
+// intact record prefix is returned and the file is left untouched (a torn
+// tail is not truncated). The cluster layer uses it to read a dead peer's
+// claimed journal during job hand-off.
+func Load(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: load: %w", err)
+	}
+	defer f.Close()
+	records, _, err := replay(f)
+	return records, err
 }
 
 // Close syncs and closes the file. Further Appends return ErrClosed; Close

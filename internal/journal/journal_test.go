@@ -287,3 +287,90 @@ func fileSize(t *testing.T, path string) int64 {
 	}
 	return fi.Size()
 }
+
+// TestDirsyncFaultSurfaced exercises the journal.dirsync failure path: a
+// compaction whose parent-directory fsync fails must report the error —
+// the rename may roll back after power loss — while leaving the journal
+// consistent and appendable (the data itself is durable in one of the two
+// files).
+func TestDirsyncFaultSurfaced(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openT(t, path)
+	appendT(t, j, OpSubmitted, "job-1", nil)
+	appendT(t, j, OpFinished, "job-1", nil)
+
+	reg := faults.New(9)
+	reg.Arm(faults.Spec{Point: "journal.dirsync", Mode: faults.ModeError, Count: 1})
+	faults.Activate(reg)
+	defer faults.Deactivate()
+
+	err := j.Rewrite([]Record{{Op: OpSubmitted, JobID: "job-1", Time: time.Now()}})
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Rewrite with failing dirsync: %v, want ErrInjected", err)
+	}
+	if reg.Fired("journal.dirsync") != 1 {
+		t.Fatal("dirsync point never fired")
+	}
+	// The rename happened before the failed sync: the journal switched to
+	// the compacted file and keeps working.
+	if j.Len() != 1 {
+		t.Fatalf("Len = %d after failed-dirsync compaction, want 1", j.Len())
+	}
+	appendT(t, j, OpStarted, "job-1", nil)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := openT(t, path)
+	if len(recs) != 2 || recs[0].Op != OpSubmitted || recs[1].Op != OpStarted {
+		t.Fatalf("reopen after failed dirsync replayed %+v", recs)
+	}
+}
+
+// TestRewriteDirsyncSucceeds pins the success path: an unarmed registry and a
+// real directory fsync report no error.
+func TestRewriteDirsyncSucceeds(t *testing.T) {
+	faults.Deactivate()
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openT(t, path)
+	appendT(t, j, OpSubmitted, "job-1", nil)
+	if err := j.Rewrite([]Record{{Op: OpFinished, JobID: "job-1", Time: time.Now()}}); err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+}
+
+// TestLoadReadsWithoutTruncating proves Load replays the intact prefix of
+// another node's journal without mutating the file — the hand-off claimant
+// must never rewrite history it does not own yet.
+func TestLoadReadsWithoutTruncating(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openT(t, path)
+	appendT(t, j, OpSubmitted, "job-1", map[string]int{"n": 1})
+	appendT(t, j, OpStarted, "job-1", nil)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Torn tail: half a header.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before := fileSize(t, path)
+
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].JobID != "job-1" {
+		t.Fatalf("Load replayed %+v", recs)
+	}
+	if after := fileSize(t, path); after != before {
+		t.Fatalf("Load mutated the file: %d -> %d bytes", before, after)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.wal")); err == nil {
+		t.Fatal("Load of a missing file succeeded")
+	}
+}

@@ -1,0 +1,442 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dasesim/internal/journal"
+	"dasesim/internal/sim"
+)
+
+// TestReadyzLifecycle walks the readiness state machine: 503 before Start,
+// 200 after, 503 when a registered check fails, 503 while draining — with
+// /healthz staying 200 throughout the non-draining states (liveness and
+// readiness are different questions).
+func TestReadyzLifecycle(t *testing.T) {
+	opts := Options{
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+		JobTimeout:    time.Minute,
+		DefaultCycles: testCycles,
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ready(); err == nil {
+		t.Fatal("Ready() nil before Start")
+	}
+	s.Start()
+	defer func() {
+		ctx, cancel := testCtx()
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	if err := s.Ready(); err != nil {
+		t.Fatalf("Ready() after Start: %v", err)
+	}
+
+	// A failing named check flips readiness; its name is in the reason.
+	failing := true
+	s.AddReadinessCheck("quorum", func() error {
+		if failing {
+			return errNotReady
+		}
+		return nil
+	})
+	err = s.Ready()
+	if err == nil {
+		t.Fatal("Ready() nil with a failing check")
+	}
+	if got := err.Error(); got != "quorum: not ready" {
+		t.Fatalf("Ready() = %q, want the check named in the reason", got)
+	}
+	failing = false
+	if err := s.Ready(); err != nil {
+		t.Fatalf("Ready() after the check recovered: %v", err)
+	}
+}
+
+var errNotReady = jsonErr("not ready")
+
+type jsonErr string
+
+func (e jsonErr) Error() string { return string(e) }
+
+// TestReadyzEndpoint checks the HTTP surface: /readyz mirrors Ready() with
+// 200/503 and a JSON reason, while /healthz stays 200 until draining.
+func TestReadyzEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	get := func(path string) (int, map[string]string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&body)
+		return resp.StatusCode, body
+	}
+	if code, body := get("/readyz"); code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("/readyz = %d %v, want 200 ready", code, body)
+	}
+	s.AddReadinessCheck("cluster-quorum", func() error { return errNotReady })
+	code, body := get("/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with failing check = %d, want 503", code)
+	}
+	if body["reason"] != "cluster-quorum: not ready" {
+		t.Fatalf("/readyz reason = %q", body["reason"])
+	}
+	// Liveness is unaffected by readiness checks.
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d with failing readiness check, want 200", code)
+	}
+}
+
+// TestNodeIDJobPrefix checks cluster identity threads through job IDs and
+// survives a journal restart: IDs carry the node prefix, the sequence
+// counter resumes past replayed IDs, and a NodeID that would corrupt the ID
+// grammar is rejected at construction.
+func TestNodeIDJobPrefix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	for _, bad := range []string{"a-job-b", "a/b", "a b"} {
+		if _, err := New(Options{NodeID: bad}); err == nil {
+			t.Fatalf("NodeID %q accepted", bad)
+		}
+	}
+	jpath := filepath.Join(t.TempDir(), "n7.wal")
+	opts := Options{
+		NodeID:        "n7",
+		Workers:       1,
+		JournalPath:   jpath,
+		JobTimeout:    time.Minute,
+		DefaultCycles: testCycles,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	v, err := s.Submit(JobRequest{Kernels: []string{"SB"}, Cycles: testCycles, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID != "n7-job-1" {
+		t.Fatalf("job ID %q, want n7-job-1", v.ID)
+	}
+	awaitTerminal(t, s, v.ID)
+	crash(t, s)
+
+	s2, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	t.Cleanup(func() {
+		ctx, cancel := testCtx()
+		defer cancel()
+		_ = s2.Shutdown(ctx)
+	})
+	if _, ok := s2.View("n7-job-1"); !ok {
+		t.Fatal("replayed job lost its prefixed ID")
+	}
+	v2, err := s2.Submit(JobRequest{Kernels: []string{"SB"}, Cycles: testCycles, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.ID != "n7-job-2" {
+		t.Fatalf("post-replay job ID %q, want n7-job-2", v2.ID)
+	}
+}
+
+// TestTrySteal checks the work-stealing donor side: only queued jobs are
+// handed out, the local record turns terminal forwarded with the thief
+// attributed, and — the crash-safety half — the forward is journaled, so a
+// restart cannot resurrect the job.
+func TestTrySteal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	jpath := filepath.Join(t.TempDir(), "victim.wal")
+	opts := Options{
+		Workers:       1,
+		QueueDepth:    8,
+		JournalPath:   jpath,
+		JobTimeout:    5 * time.Minute,
+		DefaultCycles: testCycles,
+		MaxCycles:     2_000_000_000,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	if _, _, ok := s.TrySteal("thief"); ok {
+		t.Fatal("stole from an empty queue")
+	}
+	// Pin the single worker, then queue a stealable job behind it.
+	long, err := s.Submit(JobRequest{Kernels: []string{"SB"}, Cycles: 600_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for statusOf(t, s, long.ID) != StatusRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("long job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	queued, err := s.Submit(JobRequest{Kernels: []string{"SB"}, Cycles: testCycles, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, id, ok := s.TrySteal("thief")
+	if !ok || id != queued.ID {
+		t.Fatalf("TrySteal = %q/%v, want %q/true", id, ok, queued.ID)
+	}
+	if req.Seed != 2 {
+		t.Fatalf("stolen request seed %d, want 2", req.Seed)
+	}
+	v, ok := s.View(queued.ID)
+	if !ok || v.Status != StatusForwarded || v.ForwardedTo != "thief" {
+		t.Fatalf("stolen job view = %+v, want forwarded to thief", v)
+	}
+	if got := s.metrics.jobsForwarded.Load(); got != 1 {
+		t.Fatalf("jobsForwarded = %d, want 1", got)
+	}
+	if _, _, ok := s.TrySteal("thief"); ok {
+		t.Fatal("stole the running job")
+	}
+	crash(t, s)
+
+	// The journal remembers the forward: the job replays terminal, not
+	// queued — a restart must not run work that was given away.
+	s2, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	t.Cleanup(func() {
+		ctx, cancel := testCtx()
+		defer cancel()
+		_ = s2.Shutdown(ctx)
+	})
+	v2, ok := s2.View(queued.ID)
+	if !ok {
+		t.Fatal("forwarded job lost in replay")
+	}
+	if v2.Status != StatusForwarded || v2.ForwardedTo != "thief" {
+		t.Fatalf("replayed stolen job = %s/%q, want forwarded/thief", v2.Status, v2.ForwardedTo)
+	}
+}
+
+// TestSubmitStatusMapping pins the error→HTTP-status contract the cluster
+// routing layer depends on to tell "try the next node" from "every node
+// would refuse this".
+func TestSubmitStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, http.StatusAccepted},
+		{ErrQueueFull, http.StatusTooManyRequests},
+		{ErrShed, http.StatusTooManyRequests},
+		{ErrDraining, http.StatusServiceUnavailable},
+		{ErrJournal, http.StatusInternalServerError},
+		{errNotReady, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if got := SubmitStatus(c.err); got != c.want {
+			t.Errorf("SubmitStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestRouteKeyAndSeedResult checks the cluster-facing cache plumbing without
+// running a simulation: the routing key matches the cache key (identical
+// requests collide, different seeds do not), and SeedResult inserts exactly
+// once.
+func TestRouteKeyAndSeedResult(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	req := JobRequest{Kernels: []string{"SB"}, Cycles: testCycles, Seed: 11}
+	k1, err := s.RouteKey(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := s.RouteKey(JobRequest{Kernels: []string{"SB"}, Cycles: testCycles, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("identical requests produced different route keys")
+	}
+	k3, err := s.RouteKey(JobRequest{Kernels: []string{"SB"}, Cycles: testCycles, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k3 {
+		t.Fatal("different seeds share a route key")
+	}
+	if _, err := s.RouteKey(JobRequest{Kernels: []string{"NOPE"}}); err == nil {
+		t.Fatal("invalid request produced a route key")
+	}
+
+	res := &JobResult{Sim: &sim.Result{}}
+	if !s.SeedResult(req, res) {
+		t.Fatal("first seed not inserted")
+	}
+	if s.SeedResult(req, res) {
+		t.Fatal("second seed of the same key reported as new")
+	}
+	if s.SeedResult(req, nil) || s.SeedResult(req, &JobResult{}) {
+		t.Fatal("resultless seed accepted")
+	}
+	if s.SeedResult(JobRequest{Kernels: []string{"NOPE"}}, res) {
+		t.Fatal("invalid request seeded")
+	}
+}
+
+// TestExtractJournalJobs feeds a fabricated journal through the hand-off
+// reader: finished jobs come back terminal with results, a forward is
+// terminal, a submitted-only job is the non-terminal remainder, and a
+// finished record without its submission (torn prefix after compaction
+// truncation) is dropped.
+func TestExtractJournalJobs(t *testing.T) {
+	mustJSON := func(v any) json.RawMessage {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	reqA := JobRequest{Kernels: []string{"SB"}, Seed: 1}
+	reqB := JobRequest{Kernels: []string{"SD"}, Seed: 2}
+	reqC := JobRequest{Kernels: []string{"VA"}, Seed: 3}
+	reqD := JobRequest{Kernels: []string{"CT"}, Seed: 4}
+	recs := []journal.Record{
+		{Op: journal.OpSubmitted, JobID: "n1-job-1", Data: mustJSON(submittedData{Request: reqA})},
+		{Op: journal.OpSubmitted, JobID: "n1-job-2", Data: mustJSON(submittedData{Request: reqB})},
+		{Op: journal.OpSubmitted, JobID: "n1-job-3", Data: mustJSON(submittedData{Request: reqC})},
+		{Op: journal.OpSubmitted, JobID: "n1-job-4", Data: mustJSON(submittedData{Request: reqD})},
+		{Op: journal.OpStarted, JobID: "n1-job-1", Data: mustJSON(startedData{Attempt: 1})},
+		{Op: journal.OpFinished, JobID: "n1-job-1", Data: mustJSON(finishedData{
+			Status: StatusDone, Result: &JobResult{Sim: &sim.Result{}},
+		})},
+		{Op: journal.OpFinished, JobID: "n1-job-2", Data: mustJSON(finishedData{
+			Status: StatusForwarded, ForwardedTo: "n2",
+		})},
+		{Op: journal.OpCanceled, JobID: "n1-job-3"},
+		{Op: journal.OpStarted, JobID: "n1-job-4", Data: mustJSON(startedData{Attempt: 1})},
+		// Torn prefix: a finished record whose submission was compacted away.
+		{Op: journal.OpFinished, JobID: "n1-job-0", Data: mustJSON(finishedData{Status: StatusDone})},
+	}
+	jobs := ExtractJournalJobs(recs)
+	if len(jobs) != 4 {
+		t.Fatalf("extracted %d jobs, want 4: %+v", len(jobs), jobs)
+	}
+	byID := map[string]JournaledJob{}
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	if j := byID["n1-job-1"]; !j.Terminal || j.Status != StatusDone || j.Result == nil || j.Request.Seed != 1 {
+		t.Fatalf("done job extracted wrong: %+v", j)
+	}
+	if j := byID["n1-job-2"]; !j.Terminal || j.Status != StatusForwarded {
+		t.Fatalf("forwarded job extracted wrong: %+v", j)
+	}
+	if j := byID["n1-job-3"]; !j.Terminal || j.Status != StatusCanceled {
+		t.Fatalf("canceled job extracted wrong: %+v", j)
+	}
+	if j := byID["n1-job-4"]; j.Terminal || j.Status != StatusQueued {
+		t.Fatalf("started-not-finished job must be non-terminal queued: %+v", j)
+	}
+	if _, ok := byID["n1-job-0"]; ok {
+		t.Fatal("request-less job must be dropped")
+	}
+}
+
+// TestViewsAndQueueLen covers the cluster-facing read API on an idle server.
+func TestViewsAndQueueLen(t *testing.T) {
+	s, _ := newTestServer(t, Options{NodeID: "nx"})
+	if got := s.NodeID(); got != "nx" {
+		t.Fatalf("NodeID = %q", got)
+	}
+	if got := s.QueueLen(); got != 0 {
+		t.Fatalf("QueueLen = %d on an idle server", got)
+	}
+	if got := s.Views(); len(got) != 0 {
+		t.Fatalf("Views = %v on an empty server", got)
+	}
+	if _, ok := s.View("nx-job-99"); ok {
+		t.Fatal("View found a job that never existed")
+	}
+	if s.MetricsRegistry() == nil {
+		t.Fatal("MetricsRegistry is nil")
+	}
+}
+
+// TestSubmitListCancelShort drives the programmatic Submit path plus the list
+// and cancel endpoints with one cheap job, then kills the server the way the
+// cluster test harness does.
+func TestSubmitListCancelShort(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, DefaultCycles: 2_000})
+	if _, _, ok := s.TrySteal("thief"); ok {
+		t.Fatal("stole from an empty queue")
+	}
+	v, err := s.Submit(JobRequest{Kernels: []string{"SB"}, Cycles: 2_000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(JobRequest{Kernels: []string{"NOPE"}}); err == nil {
+		t.Fatal("invalid kernel accepted")
+	}
+	awaitTerminal(t, s, v.ID)
+	if got := s.Views(); len(got) != 1 || got[0].ID != v.ID {
+		t.Fatalf("Views = %+v, want the one submitted job", got)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listed struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listed.Jobs) != 1 || listed.Jobs[0].ID != v.ID {
+		t.Fatalf("GET /v1/jobs = %+v", listed.Jobs)
+	}
+
+	del := func(id string) int {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := del("nope"); code != http.StatusNotFound {
+		t.Fatalf("DELETE unknown job = %d, want 404", code)
+	}
+	if code := del(v.ID); code != http.StatusConflict {
+		t.Fatalf("DELETE finished job = %d, want 409", code)
+	}
+
+	s.Kill()
+	if err := s.Ready(); err == nil {
+		t.Fatal("Ready() nil after Kill")
+	}
+}

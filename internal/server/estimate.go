@@ -61,7 +61,7 @@ func (s *Server) writeEstimateError(w http.ResponseWriter, r *http.Request, err 
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
-		s.writeError(w, r, http.StatusServiceUnavailable, errDraining.Error())
+		s.writeError(w, r, http.StatusServiceUnavailable, ErrDraining.Error())
 		return
 	}
 	sc := s.est.Get()
@@ -102,7 +102,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 // closes.
 func (s *Server) handleEstimateStream(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
-		s.writeError(w, r, http.StatusServiceUnavailable, errDraining.Error())
+		s.writeError(w, r, http.StatusServiceUnavailable, ErrDraining.Error())
 		return
 	}
 	s.metrics.estStreams.Add(1)
@@ -153,7 +153,7 @@ func (s *Server) handleEstimateStream(w http.ResponseWriter, r *http.Request) {
 			return // client went away or sent an unreadable stream
 		}
 		if s.isDraining() {
-			writeLine(estimate.AppendError(sc.Out[:0], errDraining.Error()))
+			writeLine(estimate.AppendError(sc.Out[:0], ErrDraining.Error()))
 			return
 		}
 		start := time.Now()

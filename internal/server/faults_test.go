@@ -291,8 +291,8 @@ func TestLoadSheddingPrefersCached(t *testing.T) {
 		}
 	}
 	// Over the mark: uncached is shed, cached is admitted.
-	if _, err := s.submit(JobRequest{Kernels: []string{"CT"}, Cycles: testCycles}); err != errShed {
-		t.Fatalf("uncached over high water: %v, want errShed", err)
+	if _, err := s.submit(JobRequest{Kernels: []string{"CT"}, Cycles: testCycles}); err != ErrShed {
+		t.Fatalf("uncached over high water: %v, want ErrShed", err)
 	}
 	if got := s.metrics.jobsShed.Load(); got != 1 {
 		t.Fatalf("jobsShed=%d, want 1", got)

@@ -10,14 +10,34 @@ import (
 	"dasesim/internal/telemetry"
 )
 
-// errQueueFull, errShed, errDraining, and errJournal classify submission
-// failures into HTTP statuses (429, 429, 503, 500).
+// ErrQueueFull, ErrShed, ErrDraining, and ErrJournal classify submission
+// failures into HTTP statuses (429, 429, 503, 500). They are exported so the
+// cluster layer can tell a node that is merely saturated (route the job to
+// the next preference) from one rejecting the request outright.
 var (
-	errQueueFull = errors.New("job queue full")
-	errShed      = errors.New("queue over high-water mark; uncached submissions shed")
-	errDraining  = errors.New("server shutting down")
-	errJournal   = errors.New("journal write failed")
+	ErrQueueFull = errors.New("job queue full")
+	ErrShed      = errors.New("queue over high-water mark; uncached submissions shed")
+	ErrDraining  = errors.New("server shutting down")
+	ErrJournal   = errors.New("journal write failed")
 )
+
+// SubmitStatus maps a Submit error to the HTTP status the single-node API
+// uses for it, keeping cluster-forwarded rejections indistinguishable from
+// local ones.
+func SubmitStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusAccepted
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShed):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrJournal):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
 
 // Handler returns the daemon's HTTP API:
 //
@@ -29,7 +49,8 @@ var (
 //	GET    /v1/kernels           the kernel catalogue
 //	POST   /v1/estimate          online DASE estimation (object or array batch)
 //	POST   /v1/estimate/stream   NDJSON request/response estimation stream
-//	GET    /healthz              liveness probe
+//	GET    /healthz              liveness probe (503 only while draining)
+//	GET    /readyz               readiness probe (503 during replay, drain, or failed checks)
 //	GET    /metrics              Prometheus text metrics
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -42,6 +63,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("POST /v1/estimate/stream", s.handleEstimateStream)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.logMiddleware(mux)
 }
@@ -119,14 +141,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.submit(req)
 	switch {
-	case errors.Is(err, errQueueFull), errors.Is(err, errShed):
-		s.writeError(w, r, http.StatusTooManyRequests, err.Error())
-	case errors.Is(err, errDraining):
-		s.writeError(w, r, http.StatusServiceUnavailable, err.Error())
-	case errors.Is(err, errJournal):
-		s.writeError(w, r, http.StatusInternalServerError, err.Error())
 	case err != nil:
-		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, SubmitStatus(err), err.Error())
 	default:
 		s.mu.Lock()
 		v := job.view()
@@ -247,6 +263,22 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"status":   status,
 		"uptime_s": time.Since(s.metrics.start).Seconds(),
 	})
+}
+
+// handleReady is the readiness probe: unlike /healthz (liveness — the process
+// is up and able to answer), /readyz answers whether this node should receive
+// traffic. It reports 503 until Start has finished journal replay, while
+// draining, and whenever any registered readiness check (e.g. cluster quorum)
+// fails.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if err := s.Ready(); err != nil {
+		s.writeJSON(w, r, http.StatusServiceUnavailable, map[string]string{
+			"status": "unavailable",
+			"reason": err.Error(),
+		})
+		return
+	}
+	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

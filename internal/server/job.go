@@ -19,11 +19,16 @@ const (
 	StatusDone     Status = "done"
 	StatusFailed   Status = "failed"
 	StatusCanceled Status = "canceled"
+	// StatusForwarded marks a queued job given away to another cluster node
+	// (work-stealing): terminal here, because the work now lives — and is
+	// journaled — under a new ID on the stealing node.
+	StatusForwarded Status = "forwarded"
 )
 
-// terminal reports whether a job in this state will never run again.
+// terminal reports whether a job in this state will never run again (on this
+// node — a forwarded job runs on the node named by ForwardedTo).
 func (s Status) terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled || s == StatusForwarded
 }
 
 // JobRequest is the body of POST /v1/jobs.
@@ -72,12 +77,13 @@ type Job struct {
 	ID      string
 	Request JobRequest
 
-	Status    Status
-	Error     string
-	LastError string // most recent transient error, kept across retries
-	Attempts  int    // run attempts so far (1 on the first try)
-	Result    *JobResult
-	CacheHit  bool
+	Status      Status
+	Error       string
+	LastError   string // most recent transient error, kept across retries
+	Attempts    int    // run attempts so far (1 on the first try)
+	Result      *JobResult
+	CacheHit    bool
+	ForwardedTo string // stealing node's ID when Status is StatusForwarded
 
 	SubmittedAt time.Time
 	StartedAt   time.Time
@@ -101,6 +107,7 @@ type JobView struct {
 	LastError   string     `json:"last_error,omitempty"`
 	Attempts    int        `json:"attempts"`
 	CacheHit    bool       `json:"cache_hit"`
+	ForwardedTo string     `json:"forwarded_to,omitempty"`
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
@@ -118,6 +125,7 @@ func (j *Job) view() JobView {
 		LastError:   j.LastError,
 		Attempts:    j.Attempts,
 		CacheHit:    j.CacheHit,
+		ForwardedTo: j.ForwardedTo,
 		SubmittedAt: j.SubmittedAt,
 		Result:      j.Result,
 	}

@@ -122,6 +122,10 @@ type Options struct {
 	// EstimateMaxBody bounds estimate request bodies and NDJSON stream
 	// lines, in bytes (default 1 MiB).
 	EstimateMaxBody int64
+	// NodeID, when set, prefixes job IDs ("<NodeID>-job-7" instead of
+	// "job-7") so IDs stay globally unique — and routable — across a
+	// multi-node dased cluster. Must not contain "-job-" or "/".
+	NodeID string
 }
 
 // withDefaults fills unset options.
@@ -211,14 +215,21 @@ type Server struct {
 	drainCh    chan struct{} // closed when draining begins; wakes retry backoffs
 	wg         sync.WaitGroup
 
-	mu       sync.Mutex
-	rng      *rand.Rand                        // backoff jitter; guarded by mu
-	jitterFn func(time.Duration) time.Duration // test hook; nil means full jitter
-	jobs     map[string]*Job
-	jobOrder []string // submission order, for listing and record eviction
-	nextID   uint64
-	draining bool
-	started  bool
+	mu          sync.Mutex
+	rng         *rand.Rand                        // backoff jitter; guarded by mu
+	jitterFn    func(time.Duration) time.Duration // test hook; nil means full jitter
+	jobs        map[string]*Job
+	jobOrder    []string // submission order, for listing and record eviction
+	nextID      uint64
+	draining    bool
+	started     bool
+	readyChecks []readyCheck // extra readiness conditions (cluster quorum)
+}
+
+// readyCheck is one named readiness condition; fn returns nil when ready.
+type readyCheck struct {
+	name string
+	fn   func() error
 }
 
 // New builds a Server with the given options. When a journal path is
@@ -232,6 +243,9 @@ func New(opts Options) (*Server, error) {
 	}
 	if len(opts.Catalogue) == 0 {
 		return nil, fmt.Errorf("server: empty kernel catalogue")
+	}
+	if strings.Contains(opts.NodeID, "-job-") || strings.ContainsAny(opts.NodeID, "/ ") {
+		return nil, fmt.Errorf("server: invalid node id %q", opts.NodeID)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -287,11 +301,12 @@ type startedData struct {
 }
 
 type finishedData struct {
-	Status   Status     `json:"status"`
-	Error    string     `json:"error,omitempty"`
-	CacheHit bool       `json:"cache_hit,omitempty"`
-	Attempts int        `json:"attempts,omitempty"`
-	Result   *JobResult `json:"result,omitempty"`
+	Status      Status     `json:"status"`
+	Error       string     `json:"error,omitempty"`
+	CacheHit    bool       `json:"cache_hit,omitempty"`
+	Attempts    int        `json:"attempts,omitempty"`
+	ForwardedTo string     `json:"forwarded_to,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
 }
 
 // appendJournal commits one lifecycle record; it is a no-op without a
@@ -376,7 +391,8 @@ func (s *Server) replay(records []journal.Record) {
 		}
 		// Track the highest numeric job ID so new submissions continue the
 		// sequence instead of colliding with replayed ones.
-		if n, err := strconv.ParseUint(strings.TrimPrefix(rec.JobID, "job-"), 10, 64); err == nil && n > s.nextID {
+		numeric := strings.TrimPrefix(strings.TrimPrefix(rec.JobID, s.idPrefix()), "job-")
+		if n, err := strconv.ParseUint(numeric, 10, 64); err == nil && n > s.nextID {
 			s.nextID = n
 		}
 	}
@@ -397,6 +413,7 @@ func (s *Server) replay(records []journal.Record) {
 			job.Status = st.fin.Status
 			job.Error = st.fin.Error
 			job.CacheHit = st.fin.CacheHit
+			job.ForwardedTo = st.fin.ForwardedTo
 			if st.fin.Attempts > job.Attempts {
 				job.Attempts = st.fin.Attempts
 			}
@@ -478,7 +495,7 @@ func (s *Server) compactLocked() error {
 		case j.Status.terminal():
 			add(journal.OpFinished, id, j.FinishedAt, finishedData{
 				Status: j.Status, Error: j.Error, CacheHit: j.CacheHit,
-				Attempts: j.Attempts, Result: j.Result,
+				Attempts: j.Attempts, ForwardedTo: j.ForwardedTo, Result: j.Result,
 			})
 		case j.Status == StatusRunning:
 			add(journal.OpStarted, id, j.StartedAt, startedData{Attempt: j.Attempts})
@@ -573,8 +590,8 @@ func (s *Server) lookup(abbr string) (kernels.Profile, bool) {
 }
 
 // submit registers and enqueues a job built from req. It returns the job,
-// or an error classified by the caller into an HTTP status: errQueueFull,
-// errShed, errDraining, errJournal, or a validation error.
+// or an error classified by the caller into an HTTP status: ErrQueueFull,
+// ErrShed, ErrDraining, ErrJournal, or a validation error.
 //
 // Ordering is write-ahead: the submitted record is committed to the journal
 // before the job becomes visible, so an accepted job always survives a
@@ -588,11 +605,11 @@ func (s *Server) submit(req JobRequest) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return nil, errDraining
+		return nil, ErrDraining
 	}
 	if len(s.queue) == cap(s.queue) {
 		s.metrics.jobsRejected.Add(1)
-		return nil, errQueueFull
+		return nil, ErrQueueFull
 	}
 	if len(s.queue) >= s.opts.ShedHighWater {
 		// Over the high-water mark only already-cached (cheap) submissions
@@ -600,12 +617,12 @@ func (s *Server) submit(req JobRequest) (*Job, error) {
 		key := simcache.Key(s.opts.Cfg, pl.profiles, pl.alloc, pl.cycles, pl.seed, pl.variant())
 		if !s.cache.Peek(key) {
 			s.metrics.jobsShed.Add(1)
-			return nil, errShed
+			return nil, ErrShed
 		}
 	}
 	s.nextID++
 	job := &Job{
-		ID:          fmt.Sprintf("job-%d", s.nextID),
+		ID:          fmt.Sprintf("%sjob-%d", s.idPrefix(), s.nextID),
 		Request:     req,
 		Status:      StatusQueued,
 		SubmittedAt: time.Now(),
@@ -622,7 +639,7 @@ func (s *Server) submit(req JobRequest) (*Job, error) {
 	if err := s.appendJournalBounded(journal.OpSubmitted, job.ID, submittedData{Request: req}); err != nil {
 		s.nextID--
 		s.metrics.journalErrors.Add(1)
-		return nil, fmt.Errorf("%w: %v", errJournal, err)
+		return nil, fmt.Errorf("%w: %v", ErrJournal, err)
 	}
 	s.queue <- job
 	s.jobs[job.ID] = job
@@ -696,4 +713,204 @@ func (s *Server) getJob(id string) (*Job, bool) {
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	return j, ok
+}
+
+// idPrefix is the job-ID prefix implied by NodeID ("" single-node,
+// "<node>-" in a cluster).
+func (s *Server) idPrefix() string {
+	if s.opts.NodeID == "" {
+		return ""
+	}
+	return s.opts.NodeID + "-"
+}
+
+// NodeID returns the configured node identity ("" single-node).
+func (s *Server) NodeID() string { return s.opts.NodeID }
+
+// Submit validates, registers and enqueues a job, returning its view. It is
+// the in-process equivalent of POST /v1/jobs; map errors to HTTP statuses
+// with SubmitStatus. The cluster layer calls it for locally-routed work.
+func (s *Server) Submit(req JobRequest) (JobView, error) {
+	job, err := s.submit(req)
+	if err != nil {
+		return JobView{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return job.view(), nil
+}
+
+// View returns the view of one job.
+func (s *Server) View(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// Views returns every retained job view in submission order.
+func (s *Server) Views() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	views := make([]JobView, 0, len(s.jobOrder))
+	for _, id := range s.jobOrder {
+		if j, ok := s.jobs[id]; ok {
+			views = append(views, j.view())
+		}
+	}
+	return views
+}
+
+// QueueLen reports how many jobs are waiting in the queue; heartbeats carry
+// it so peers can steal from saturated nodes.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// RouteKey returns the content address of the request's main simulation —
+// the same key the result cache uses — or a validation error. The cluster
+// layer consistent-hashes it so identical submissions land on (and share the
+// cache of) one node.
+func (s *Server) RouteKey(req JobRequest) (string, error) {
+	pl, err := s.buildPlan(req)
+	if err != nil {
+		return "", err
+	}
+	return simcache.Key(s.opts.Cfg, pl.profiles, pl.alloc, pl.cycles, pl.seed, pl.variant()), nil
+}
+
+// SeedResult inserts a finished job's simulation result into the cache
+// without running anything, reporting whether it was new. Hand-off uses it
+// to preserve a dead node's completed work; reconciliation after a
+// partition uses the report to count duplicated effort.
+func (s *Server) SeedResult(req JobRequest, res *JobResult) bool {
+	if res == nil || res.Sim == nil {
+		return false
+	}
+	key, err := s.RouteKey(req)
+	if err != nil {
+		return false
+	}
+	return s.cache.PutIfAbsent(key, res.Sim)
+}
+
+// AddReadinessCheck registers an extra named condition /readyz requires; fn
+// must be safe for concurrent use and return nil when ready. The cluster
+// layer registers its quorum check here. Register before serving traffic.
+func (s *Server) AddReadinessCheck(name string, fn func() error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readyChecks = append(s.readyChecks, readyCheck{name: name, fn: fn})
+}
+
+// Ready reports whether the node should receive traffic: nil when ready, or
+// the first failing condition. Distinct from liveness (/healthz): a node
+// that has not finished starting, is draining, or has lost its quorum is
+// alive but must not be routed to.
+func (s *Server) Ready() error {
+	s.mu.Lock()
+	started, draining := s.started, s.draining
+	checks := append([]readyCheck(nil), s.readyChecks...)
+	s.mu.Unlock()
+	if !started {
+		return fmt.Errorf("not started: journal replay or warm-up in progress")
+	}
+	if draining {
+		return fmt.Errorf("draining")
+	}
+	for _, c := range checks {
+		if err := c.fn(); err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+	}
+	return nil
+}
+
+// MetricsRegistry exposes the server's telemetry registry so co-located
+// layers (the cluster node) can register their metrics on the same /metrics
+// endpoint.
+func (s *Server) MetricsRegistry() *telemetry.Registry { return s.metrics.reg }
+
+// Kill emulates a process kill for tests and abrupt teardown: the journal is
+// closed first (no further lifecycle transitions are committed, exactly like
+// losing the process), then intake stops and running work is cancelled.
+// In-memory state keeps mutating while the workers unwind, but those
+// mutations are lost to the journal — only what Append had already fsynced
+// survives, which is the point.
+func (s *Server) Kill() {
+	if s.journal != nil {
+		_ = s.journal.Close()
+	}
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+		close(s.drainCh)
+	}
+	s.mu.Unlock()
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+// JournaledJob is one job reconstructed from another node's journal records
+// during hand-off.
+type JournaledJob struct {
+	ID       string
+	Request  JobRequest
+	Status   Status
+	Result   *JobResult
+	Terminal bool
+}
+
+// ExtractJournalJobs reconstructs job states from raw journal records using
+// the server's payload schema — the read-side twin of replay, exported so
+// the cluster hand-off can interpret a claimed journal. Jobs whose submitted
+// record is missing (torn prefix) are dropped; a job with no finished or
+// canceled record is non-terminal and must be re-run somewhere.
+func ExtractJournalJobs(records []journal.Record) []JournaledJob {
+	type state struct {
+		req     JobRequest
+		haveReq bool
+		fin     *finishedData
+	}
+	states := map[string]*state{}
+	var order []string
+	for _, rec := range records {
+		st, ok := states[rec.JobID]
+		if !ok {
+			st = &state{}
+			states[rec.JobID] = st
+			order = append(order, rec.JobID)
+		}
+		switch rec.Op {
+		case journal.OpSubmitted:
+			var d submittedData
+			if json.Unmarshal(rec.Data, &d) == nil {
+				st.req, st.haveReq = d.Request, true
+			}
+		case journal.OpFinished:
+			var d finishedData
+			if json.Unmarshal(rec.Data, &d) == nil {
+				st.fin = &d
+			}
+		case journal.OpCanceled:
+			st.fin = &finishedData{Status: StatusCanceled}
+		}
+	}
+	var out []JournaledJob
+	for _, id := range order {
+		st := states[id]
+		if !st.haveReq {
+			continue
+		}
+		jj := JournaledJob{ID: id, Request: st.req, Status: StatusQueued}
+		if st.fin != nil {
+			jj.Status = st.fin.Status
+			jj.Result = st.fin.Result
+			jj.Terminal = st.fin.Status.terminal()
+		}
+		out = append(out, jj)
+	}
+	return out
 }

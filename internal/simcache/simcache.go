@@ -147,6 +147,21 @@ func (m *Memory) put(key string, r *sim.Result) {
 	m.order = append(m.order, key)
 }
 
+// PutIfAbsent stores r under key only when the key is not already resident,
+// reporting whether it inserted. Results are deterministic functions of the
+// key, so a lost race changes nothing — but the report lets callers count
+// duplicates, which is how the cluster layer measures how much redundant
+// work a partition caused when the halves reconcile.
+func (m *Memory) PutIfAbsent(key string, r *sim.Result) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.entries[key]; ok {
+		return false
+	}
+	m.put(key, r)
+	return true
+}
+
 // Peek reports whether key is resident without touching the hit/miss
 // counters — the server's admission control uses it to tell cheap
 // (already-cached) submissions from expensive ones when shedding load.

@@ -170,3 +170,19 @@ func TestGetOrComputeWaiterCancellation(t *testing.T) {
 	}
 	close(release)
 }
+
+// TestPutIfAbsent checks insert-vs-duplicate reporting and that a duplicate
+// leaves the resident result in place.
+func TestPutIfAbsent(t *testing.T) {
+	m := NewMemory(4)
+	a, b := &sim.Result{Cycles: 1}, &sim.Result{Cycles: 2}
+	if !m.PutIfAbsent("k", a) {
+		t.Fatal("first PutIfAbsent reported duplicate")
+	}
+	if m.PutIfAbsent("k", b) {
+		t.Fatal("second PutIfAbsent reported insert")
+	}
+	if got, ok := m.Get("k"); !ok || got != a {
+		t.Fatal("duplicate PutIfAbsent replaced the resident result")
+	}
+}

@@ -82,6 +82,23 @@ func KernelNames() []string { return kernels.Names() }
 // RunShared or RunWithPolicy instead.
 type GPU = sim.GPU
 
+// Option configures a GPU built through this facade (engine parallelism,
+// snapshot retention, tracing, ...). All options are observation- or
+// speed-only: simulation results are byte-identical with or without them.
+type Option = sim.Option
+
+// WithParallelism runs the cycle engine on n bulk-synchronous shards
+// (persistent worker goroutines with a barrier per step phase). Results are
+// byte-identical to the sequential engine at every n; wall-clock improves
+// when GOMAXPROCS provides real cores. n == 0 means GOMAXPROCS; n < 0
+// forces the sequential engine, overriding the DASESIM_PARALLEL environment
+// default that applies when the option is absent.
+func WithParallelism(n int) Option { return sim.WithParallelism(n) }
+
+// WithSnapshotRetention caps how many interval snapshots a run keeps in
+// memory; whole-run aggregates stay exact.
+func WithSnapshotRetention(n int) Option { return sim.WithSnapshotRetention(n) }
+
 // Result summarises a finished simulation.
 type Result = sim.Result
 
@@ -94,25 +111,25 @@ type IntervalSnapshot = sim.IntervalSnapshot
 
 // NewGPU builds a simulation of the given kernels with alloc[i] SMs for
 // kernel i.
-func NewGPU(cfg Config, ps []KernelProfile, alloc []int, seed uint64) (*GPU, error) {
-	return sim.New(cfg, ps, alloc, seed)
+func NewGPU(cfg Config, ps []KernelProfile, alloc []int, seed uint64, opts ...Option) (*GPU, error) {
+	return sim.New(cfg, ps, alloc, seed, opts...)
 }
 
 // RunAlone simulates one kernel alone on all SMs (the IPC-alone baseline).
-func RunAlone(cfg Config, p KernelProfile, cycles, seed uint64) (*Result, error) {
-	return sim.RunAlone(cfg, p, cycles, seed)
+func RunAlone(cfg Config, p KernelProfile, cycles, seed uint64, opts ...Option) (*Result, error) {
+	return sim.RunAlone(cfg, p, cycles, seed, opts...)
 }
 
 // RunShared simulates kernels concurrently under a static SM partition.
-func RunShared(cfg Config, ps []KernelProfile, alloc []int, cycles, seed uint64) (*Result, error) {
-	return sim.RunShared(cfg, ps, alloc, cycles, seed)
+func RunShared(cfg Config, ps []KernelProfile, alloc []int, cycles, seed uint64, opts ...Option) (*Result, error) {
+	return sim.RunShared(cfg, ps, alloc, cycles, seed, opts...)
 }
 
 // RunSharedWithEpochs is RunShared with the rotating highest-priority
 // memory-controller epochs enabled; required when the run's snapshots will
 // feed the MISE or ASM estimators.
-func RunSharedWithEpochs(cfg Config, ps []KernelProfile, alloc []int, cycles, seed uint64) (*Result, error) {
-	return sim.RunShared(cfg, ps, alloc, cycles, seed, sim.WithPriorityEpochs())
+func RunSharedWithEpochs(cfg Config, ps []KernelProfile, alloc []int, cycles, seed uint64, opts ...Option) (*Result, error) {
+	return sim.RunShared(cfg, ps, alloc, cycles, seed, append([]Option{sim.WithPriorityEpochs()}, opts...)...)
 }
 
 // EvenAllocation splits n SMs evenly among k applications.
@@ -199,8 +216,8 @@ func NewTimeSlice(sliceIntervals int) *TimeSlicePolicy { return sched.NewTimeSli
 func WeightedSpeedup(slowdowns []float64) float64 { return metrics.WeightedSpeedup(slowdowns) }
 
 // RunWithPolicy simulates kernels under a dynamic SM-allocation policy.
-func RunWithPolicy(cfg Config, ps []KernelProfile, alloc []int, cycles, seed uint64, pol Policy) (*Result, error) {
-	return sched.Run(cfg, ps, alloc, cycles, seed, pol)
+func RunWithPolicy(cfg Config, ps []KernelProfile, alloc []int, cycles, seed uint64, pol Policy, opts ...Option) (*Result, error) {
+	return sched.Run(cfg, ps, alloc, cycles, seed, pol, opts...)
 }
 
 // LeftoverAllocation computes the allocation of the LEFTOVER policy used by

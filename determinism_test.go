@@ -23,6 +23,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -124,6 +125,47 @@ func runRetentionFaultRetry(t *testing.T, c detCase) *sim.Result {
 	return res
 }
 
+// runParFairRetentionFaultRetry is the parallel-engine operational scenario:
+// the DASE-Fair policy repartitions SMs mid-run (draining + reassignment on
+// the phased engine), snapshots are evicted under a retention cap, the first
+// attempt dies to an injected sim.step fault, and the retry must reproduce
+// the canonical result bit for bit. The case carries WithParallelism in
+// c.opts, so its golden fingerprint is recorded from a parallel run;
+// TestParallelGolden overrides the shard count (including forcing the
+// sequential engine) and requires the same fingerprint.
+func runParFairRetentionFaultRetry(t *testing.T, c detCase) *sim.Result {
+	t.Helper()
+	reg := faults.New(101)
+	reg.Arm(faults.Spec{Point: "sim.step", Mode: faults.ModeError, Count: 1})
+	faults.Activate(reg)
+	defer faults.Deactivate()
+
+	opts := append([]sim.Option{sim.WithSnapshotRetention(2)}, c.opts...)
+	if _, err := sched.RunContext(context.Background(), DefaultConfig(), detProfiles(t, c.abbrs), c.alloc, c.cycles, c.seed, sched.NewDASEFair(), opts...); err == nil {
+		t.Fatal("first attempt survived the armed sim.step fault")
+	}
+	res, err := sched.RunContext(context.Background(), DefaultConfig(), detProfiles(t, c.abbrs), c.alloc, c.cycles, c.seed, sched.NewDASEFair(), opts...)
+	if err != nil {
+		t.Fatalf("retry after injected fault: %v", err)
+	}
+	if len(res.Snapshots) != 2 {
+		t.Fatalf("retention cap kept %d snapshots, want 2", len(res.Snapshots))
+	}
+	// The deliberately unfair starting allocation must have been repartitioned
+	// mid-run, or the scenario is not exercising parallel-mode reassignment.
+	last := res.Snapshots[len(res.Snapshots)-1]
+	moved := false
+	for a := range last.Apps {
+		if last.Apps[a].SMs != c.alloc[a] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("DASE-Fair never repartitioned the unfair starting allocation")
+	}
+	return res
+}
+
 func detProfiles(t *testing.T, abbrs []string) []KernelProfile {
 	t.Helper()
 	ps := make([]KernelProfile, len(abbrs))
@@ -145,6 +187,52 @@ func detCases() []detCase {
 		{name: "pair-SB-SD-epochs", abbrs: []string{"SB", "SD"}, alloc: []int{8, 8}, cycles: 120_000, seed: 1, run: runSharedEpochs},
 		{name: "pair-VA-CT-dasefair", abbrs: []string{"VA", "CT"}, alloc: []int{8, 8}, cycles: 160_000, seed: 5, run: runFairPolicy},
 		{name: "pair-SB-SD-retention-faultretry", abbrs: []string{"SB", "SD"}, alloc: []int{8, 8}, cycles: 160_000, seed: 11, run: runRetentionFaultRetry},
+		{name: "pair-VA-CT-parallel-fair-retention-faultretry", abbrs: []string{"VA", "CT"}, alloc: []int{12, 4}, cycles: 160_000, seed: 13,
+			opts: []sim.Option{sim.WithParallelism(2)}, run: runParFairRetentionFaultRetry},
+	}
+}
+
+// TestParallelGolden is the parallel engine's determinism contract: every
+// golden scenario, run under WithParallelism, must reproduce the recorded
+// fingerprint byte for byte. The six sequential scenarios run at 1, 2 and 4
+// shards against fingerprints recorded from the sequential engine; the
+// parallel scenario (recorded at 2 shards) additionally runs with the
+// sequential engine forced, closing the loop in the other direction.
+func TestParallelGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped with -short")
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read %s: %v (regenerate with -update-golden)", goldenPath, err)
+	}
+	golden := map[string]string{}
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+	for _, base := range detCases() {
+		shards := []int{1, 2, 4}
+		if len(base.opts) > 0 {
+			shards = []int{-1, 1, 4} // recorded at 2; prove seq == p1 == p2 == p4
+		}
+		for _, n := range shards {
+			c := base
+			c.opts = append(append([]sim.Option{}, base.opts...), sim.WithParallelism(n))
+			label := fmt.Sprintf("%s/p%d", c.name, n)
+			if n < 0 {
+				label = c.name + "/seq"
+			}
+			t.Run(label, func(t *testing.T) {
+				fp := fingerprint(t, c.run(t, c))
+				want, ok := golden[c.name]
+				if !ok {
+					t.Fatalf("no golden fingerprint for %q", c.name)
+				}
+				if fp != want {
+					t.Errorf("fingerprint mismatch under WithParallelism(%d): got %s want %s\nthe parallel engine must be byte-identical to the sequential engine", n, fp, want)
+				}
+			})
+		}
 	}
 }
 

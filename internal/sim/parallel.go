@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel cycle engine shards GPU.step across a persistent worker pool
+// with a bulk-synchronous barrier between phases, producing byte-identical
+// results to the sequential engine. One simulated cycle becomes:
+//
+//	P0  (coord)    priority-epoch rotation
+//	P1a (coord)    per-SM thread-block dispatch, SM-index order, recording
+//	               which SMs went hungry (wanted a block the shared source
+//	               could not supply because earlier blocks were in flight)
+//	P1b (workers)  per-SM compute/issue with BlockFinished deferred
+//	P1c (coord)    per SM in index order: retry a hungry SM's dispatch (plus
+//	               the compute its fresh block would have received), then
+//	               replay its deferred BlockFinished notifications
+//	P2  (coord)    SM outbox -> crossbar injection, SM-index order
+//	P3a (workers)  per-partition L2/DRAM cycling (replay, recv, access, DRAM)
+//	P3b (coord)    partition reply -> crossbar injection, partition order
+//	P4  (workers)  crossbar -> SM reply delivery
+//	P5  (coord)    reassignment, cycle++, interval snapshot, debug sweep
+//
+// Why this is exact. Per-SM compute, per-partition cycling and per-SM reply
+// delivery touch only entity-local state (plus the entity's own crossbar
+// FIFO end, whose other end is written only in coordinator phases), so the
+// worker phases commute freely. The two injection merges (P2, P3b) stay on
+// the coordinator because queue-fullness coupling makes their cross-entity
+// order observable (CanSendToMem/CanSendToSM decide who wins the last slot
+// of a filling FIFO), and they run in exactly the sequential engine's index
+// order. The only cross-SM coupling inside the sequential phase 1 is the
+// shared per-app block source: the sequential order D0 C0 D1 C1 ... lets a
+// BlockFinished from a lower-index SM enable a same-cycle kernel relaunch
+// (NextBlock restarts only when inFlight drops to zero) on a higher-index
+// SM. P1a/P1c reconstruct that chain exactly: a dispatch P1a makes is one
+// the sequential chain also makes (P1a sees an inFlight count >= the
+// sequential one, so a relaunch it takes was available to the chain too,
+// and pre-relaunch block draws do not depend on inFlight at all); a
+// dispatch it misses is flagged hungry and retried in P1c after the
+// deferred finishes of lower-index SMs have been replayed — and only a
+// completely idle SM can profit from the retry (a non-idle SM's own
+// resident blocks pin inFlight above zero), for which the skipped P1b
+// compute was a no-op, so dispatch-then-compute in P1c reproduces its
+// sequential cycle exactly. Freshly dispatched blocks cannot retire in the
+// same cycle (a warp's first instruction leaves it in a wait state), so
+// P1c's recovered computes produce no further finishes.
+//
+// Request pools: memreq.Pool is deliberately not concurrency-safe, so in
+// parallel mode every SM and partition gets a private pool (see GPU.pools).
+// Request pointer identity never reaches simulated values, so this cannot
+// change results.
+
+// parUnset marks "no WithParallelism option given" so New can consult the
+// DASESIM_PARALLEL environment default.
+const parUnset = -1
+
+// WithParallelism runs the cycle engine on n bulk-synchronous shards:
+// n-1 persistent worker goroutines plus the coordinator, spawned once per
+// Run/RunContext and reused across all its cycles. n == 0 means
+// runtime.GOMAXPROCS(0); n < 0 forces the sequential engine (useful to
+// override the DASESIM_PARALLEL environment default, which is consulted
+// only when this option is absent). Results are byte-identical to the
+// sequential engine for every n; n == 1 runs the phased engine inline with
+// no extra goroutines.
+func WithParallelism(n int) Option {
+	return func(g *GPU) {
+		switch {
+		case n < 0:
+			g.parallelism = 0
+		case n == 0:
+			g.parallelism = runtime.GOMAXPROCS(0)
+		default:
+			g.parallelism = n
+		}
+	}
+}
+
+// Parallelism returns the resolved shard count: 0 for the sequential
+// engine, n >= 1 for the phased engine.
+func (g *GPU) Parallelism() int { return g.parallelism }
+
+// envParallelism reads the DASESIM_PARALLEL default applied when no
+// WithParallelism option is given: unset, empty, invalid or negative values
+// mean sequential; 0 means GOMAXPROCS. It exists so test suites (the -race
+// CI job) can force the parallel engine across a whole package.
+func envParallelism() int {
+	v := os.Getenv("DASESIM_PARALLEL")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0
+	}
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Phase kinds a barrier release carries to the workers.
+const (
+	phaseCompute uint32 = iota
+	phasePartitions
+	phaseDeliver
+	phaseQuit
+)
+
+// spinIters is how long waiters spin on the barrier atomics before yielding
+// the processor. Short: phases are microseconds apart, and on a machine with
+// fewer cores than shards a pure spin would starve the goroutine holding the
+// work.
+const spinIters = 64
+
+// parEngine is the persistent state of the parallel cycle engine: shard
+// ranges, the hungry-SM scratch of phase P1a/P1c, and the barrier.
+//
+// The barrier is a release-epoch broadcast: the coordinator stores the phase
+// kind and cycle, bumps release (the atomic add publishes the plain stores),
+// runs its own shard, then waits for the other n-1 shards to bump done.
+// Workers track the last epoch they served and wait for the next bump.
+// Waits spin briefly then runtime.Gosched, so the engine stays live (if
+// slow) even with more shards than cores. All cross-goroutine state passes
+// through the two atomics, which give the necessary happens-before edges.
+type parEngine struct {
+	g *GPU
+	n int
+
+	smLo, smHi     []int // SM index range of each shard
+	partLo, partHi []int // partition index range of each shard
+	hungry         []bool
+
+	kind    uint32 // published by release
+	now     uint64 // published by release
+	release atomic.Uint64
+	done    atomic.Uint32
+
+	wg    sync.WaitGroup
+	depth int // nested Run/RunContext depth; workers live at depth >= 1
+}
+
+func newParEngine(g *GPU, n int) *parEngine {
+	e := &parEngine{
+		g:      g,
+		n:      n,
+		smLo:   make([]int, n),
+		smHi:   make([]int, n),
+		partLo: make([]int, n),
+		partHi: make([]int, n),
+		hungry: make([]bool, g.cfg.NumSMs),
+	}
+	for w := 0; w < n; w++ {
+		e.smLo[w] = w * g.cfg.NumSMs / n
+		e.smHi[w] = (w + 1) * g.cfg.NumSMs / n
+		e.partLo[w] = w * g.cfg.NumMCs / n
+		e.partHi[w] = (w + 1) * g.cfg.NumMCs / n
+	}
+	return e
+}
+
+// start spawns the n-1 worker goroutines and switches the SMs into
+// BlockFinished deferral. Reentrant: a nested Run inside an IntervalHook
+// reuses the already-running workers.
+func (e *parEngine) start() {
+	e.depth++
+	if e.depth > 1 {
+		return
+	}
+	// Deferral is part of the phase protocol at every n, including the
+	// inline n == 1 engine: a finish applied eagerly during P1b would let a
+	// higher-index SM's block completion enable a lower-index hungry SM's
+	// P1c retry, which the sequential chain order forbids.
+	for _, sm := range e.g.sms {
+		sm.SetDeferFinish(true)
+	}
+	if e.n == 1 {
+		return
+	}
+	base := e.release.Load()
+	for w := 1; w < e.n; w++ {
+		e.wg.Add(1)
+		go e.worker(w, base)
+	}
+}
+
+// stop quits the workers and restores direct BlockFinished delivery, so a
+// GPU can be driven by plain step() again (tests mix Run styles) and no
+// goroutines outlive the Run.
+func (e *parEngine) stop() {
+	e.depth--
+	if e.depth > 0 {
+		return
+	}
+	if e.n > 1 {
+		e.kind = phaseQuit
+		e.release.Add(1)
+		e.wg.Wait()
+	}
+	for _, sm := range e.g.sms {
+		sm.SetDeferFinish(false)
+	}
+}
+
+// phase runs one worker phase across all shards and returns when every
+// shard has finished (the bulk-synchronous barrier).
+func (e *parEngine) phase(kind uint32, now uint64) {
+	if e.n == 1 {
+		e.runShard(0, kind, now)
+		return
+	}
+	e.kind, e.now = kind, now
+	e.done.Store(0)
+	e.release.Add(1)
+	e.runShard(0, kind, now)
+	target := uint32(e.n - 1)
+	for i := 0; e.done.Load() != target; i++ {
+		if i >= spinIters {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (e *parEngine) worker(w int, last uint64) {
+	defer e.wg.Done()
+	for {
+		for i := 0; e.release.Load() == last; i++ {
+			if i >= spinIters {
+				runtime.Gosched()
+			}
+		}
+		last++
+		kind, now := e.kind, e.now
+		if kind == phaseQuit {
+			return
+		}
+		e.runShard(w, kind, now)
+		e.done.Add(1)
+	}
+}
+
+// runShard executes shard w of one phase.
+func (e *parEngine) runShard(w int, kind uint32, now uint64) {
+	g := e.g
+	switch kind {
+	case phaseCompute:
+		for i := e.smLo[w]; i < e.smHi[w]; i++ {
+			g.sms[i].ComputePhase(now)
+		}
+	case phasePartitions:
+		for pi := e.partLo[w]; pi < e.partHi[w]; pi++ {
+			g.partitionInput(g.parts[pi], pi, now)
+		}
+	case phaseDeliver:
+		for si := e.smLo[w]; si < e.smHi[w]; si++ {
+			g.deliverReplies(si, g.sms[si], now)
+		}
+	}
+}
+
+// stepParallel advances exactly one core cycle on the phased engine. It is
+// the parallel counterpart of step; see the package comment above for the
+// phase protocol and its equivalence argument.
+func (g *GPU) stepParallel() {
+	e := g.par
+	now := g.cycle
+
+	if g.priorityEpochs {
+		g.updatePriorityEpoch(now)
+	}
+
+	// P1a: dispatch scan in SM-index order, recording hunger.
+	for i, sm := range g.sms {
+		e.hungry[i] = sm.DispatchPhase()
+	}
+
+	// P1b: per-SM compute with BlockFinished deferred.
+	e.phase(phaseCompute, now)
+
+	// P1c: reconstruct the sequential dispatch/finish interleaving.
+	for i, sm := range g.sms {
+		if e.hungry[i] {
+			sm.RedispatchPhase(now)
+		}
+		sm.ReplayFinishes()
+	}
+
+	// P2: outbox -> crossbar injection in SM-index order.
+	for _, sm := range g.sms {
+		g.injectSM(sm, now)
+	}
+
+	// P3a: per-partition L2/DRAM cycling.
+	e.phase(phasePartitions, now)
+
+	// P3b: reply injection in partition-index order.
+	for pi, p := range g.parts {
+		g.partitionOutput(p, pi, now)
+	}
+
+	// P4: reply delivery into SMs.
+	e.phase(phaseDeliver, now)
+
+	g.finishCycle()
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"dasesim/internal/config"
+	"dasesim/internal/kernels"
+)
+
+// TestWithParallelismResolution pins the option's resolution rules: negative
+// forces sequential, zero means GOMAXPROCS, and the DASESIM_PARALLEL
+// environment default applies only when the option is absent.
+func TestWithParallelismResolution(t *testing.T) {
+	cfg := config.Default()
+	ps := []kernels.Profile{mustKernel(t, "SB")}
+	build := func(t *testing.T, opts ...Option) *GPU {
+		t.Helper()
+		g, err := New(cfg, ps, []int{cfg.NumSMs}, 1, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	// Neutralize any ambient default (the CI race job exports
+	// DASESIM_PARALLEL for the whole package) before pinning the rules.
+	t.Setenv("DASESIM_PARALLEL", "")
+
+	if got := build(t).Parallelism(); got != 0 {
+		t.Fatalf("default Parallelism() = %d, want 0 (sequential)", got)
+	}
+	if got := build(t, WithParallelism(3)).Parallelism(); got != 3 {
+		t.Fatalf("WithParallelism(3): Parallelism() = %d, want 3", got)
+	}
+	if got := build(t, WithParallelism(0)).Parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("WithParallelism(0): Parallelism() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := build(t, WithParallelism(-1)).Parallelism(); got != 0 {
+		t.Fatalf("WithParallelism(-1): Parallelism() = %d, want 0 (sequential)", got)
+	}
+
+	t.Setenv("DASESIM_PARALLEL", "3")
+	if got := build(t).Parallelism(); got != 3 {
+		t.Fatalf("DASESIM_PARALLEL=3: Parallelism() = %d, want 3", got)
+	}
+	if got := build(t, WithParallelism(-1)).Parallelism(); got != 0 {
+		t.Fatalf("DASESIM_PARALLEL=3 + WithParallelism(-1): Parallelism() = %d, want 0", got)
+	}
+	t.Setenv("DASESIM_PARALLEL", "bogus")
+	if got := build(t).Parallelism(); got != 0 {
+		t.Fatalf("DASESIM_PARALLEL=bogus: Parallelism() = %d, want 0", got)
+	}
+}
+
+// TestParallelCancelDuringRun is the regression test for cancellation landing
+// mid-parallel-run: the workers must be joined (no goroutine leak), the error
+// must surface, the engine must stop on the interval boundary the chunk was
+// stretched to, and the GPU must remain fully usable — continuing the
+// cancelled run to the original budget must be byte-identical to an
+// uninterrupted sequential run.
+func TestParallelCancelDuringRun(t *testing.T) {
+	cfg := config.Default()
+	cfg.IntervalCycles = 10_000
+	ps := []kernels.Profile{mustKernel(t, "SB"), mustKernel(t, "SD")}
+	const total = 40_000
+
+	before := runtime.NumGoroutine()
+
+	g, err := New(cfg, ps, []int{8, 8}, 1, WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel from inside the run: the hook fires on the coordinator at the
+	// first interval boundary, while the worker goroutines are live.
+	g.IntervalHook = func(g *GPU, _ *IntervalSnapshot) { cancel() }
+	if err := g.RunContext(ctx, total); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext err = %v, want context.Canceled", err)
+	}
+	if g.Cycle() != cfg.IntervalCycles {
+		t.Fatalf("cancelled run stopped at cycle %d, want the interval boundary %d", g.Cycle(), cfg.IntervalCycles)
+	}
+
+	// Workers are joined synchronously when RunContext unwinds; allow the
+	// runtime a few yields to retire the exiting goroutines.
+	for i := 0; runtime.NumGoroutine() > before && i < 100; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked across a cancelled parallel run: %d before, %d after", before, after)
+	}
+
+	// The GPU must be left consistent: finish the budget and compare against
+	// an uninterrupted sequential run.
+	g.IntervalHook = nil
+	g.Run(total - g.Cycle())
+	got, err := json.Marshal(g.FinishRun())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunShared(cfg, ps, []int{8, 8}, total, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(wantJSON) {
+		t.Fatal("resumed cancelled parallel run diverged from the uninterrupted sequential run")
+	}
+}
+
+// TestParallelRunContextChunkAlignment proves the parallel RunContext stops
+// only on interval boundaries (no partially accumulated interval behind an
+// early return) when the interval is within the stretch bound.
+func TestParallelRunContextChunkAlignment(t *testing.T) {
+	cfg := config.Default()
+	cfg.IntervalCycles = 50_000 // > ctxCheckCycles, within ctxCheckMaxStretch windows
+	ps := []kernels.Profile{mustKernel(t, "SB")}
+	g, err := New(cfg, ps, []int{cfg.NumSMs}, 1, WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	g.IntervalHook = func(g *GPU, _ *IntervalSnapshot) { cancel() }
+	if err := g.RunContext(ctx, 10*cfg.IntervalCycles); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext err = %v, want context.Canceled", err)
+	}
+	if g.Cycle()%cfg.IntervalCycles != 0 {
+		t.Fatalf("parallel RunContext stopped mid-interval at cycle %d (interval %d)", g.Cycle(), cfg.IntervalCycles)
+	}
+	if n := len(g.Snapshots()); n != 1 {
+		t.Fatalf("expected exactly the cancelled-at interval snapshot, got %d", n)
+	}
+}
+
+// TestParallelNestedRun drives a Run from inside an IntervalHook of a parallel
+// run (policies re-enter the engine like this) and checks the worker pool is
+// reused rather than respawned or torn down under the outer run.
+func TestParallelNestedRun(t *testing.T) {
+	cfg := config.Default()
+	cfg.IntervalCycles = 10_000
+	ps := []kernels.Profile{mustKernel(t, "SB"), mustKernel(t, "SD")}
+	g, err := New(cfg, ps, []int{8, 8}, 1, WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooks := 0
+	g.IntervalHook = func(g *GPU, _ *IntervalSnapshot) {
+		if hooks == 0 {
+			g.IntervalHook = nil // the nested run must not re-enter the hook state machine
+			g.Run(5_000)
+		}
+		hooks++
+	}
+	g.Run(10_000)
+	if g.Cycle() != 15_000 {
+		t.Fatalf("cycle = %d after nested run, want 15000", g.Cycle())
+	}
+	// The engine must still be usable for a follow-up run and summary.
+	g.Run(5_000)
+	if res := g.FinishRun(); res.Cycles != 20_000 {
+		t.Fatalf("FinishRun Cycles = %d, want 20000", res.Cycles)
+	}
+}

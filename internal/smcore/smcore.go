@@ -109,6 +109,13 @@ type SM struct {
 	source   BlockSource
 	draining bool
 
+	// deferFinish redirects BlockFinished notifications into a counter that
+	// the caller replays later with ReplayFinishes. The parallel cycle engine
+	// uses it: block sources are shared across the SMs of one app, so during
+	// a concurrent compute phase an SM must not call into its source.
+	deferFinish     bool
+	pendingFinishes int
+
 	l1   *cache.Cache
 	amap memreq.AddrMap
 	pool *memreq.Pool // shared per-GPU request recycler
@@ -245,10 +252,13 @@ func (sm *SM) maxBlocksFor(warpsPerBlock int) int {
 }
 
 // tryDispatch fills free block slots from the source, respecting the
-// residency limits (MaxBlocks and warp capacity).
-func (sm *SM) tryDispatch() {
+// residency limits (MaxBlocks and warp capacity). It reports whether the SM
+// still had room for a block the source could not supply ("hungry") — the
+// only case where a same-cycle BlockFinished on another SM could have made a
+// difference (a kernel relaunch gated on inFlight==0).
+func (sm *SM) tryDispatch() (hungry bool) {
 	if sm.draining || sm.source == nil {
-		return
+		return false
 	}
 	wpb := sm.source.WarpsPerBlock()
 	for sm.resident < sm.maxBlocksFor(wpb) && len(sm.freeSlots) >= wpb {
@@ -260,11 +270,11 @@ func (sm *SM) tryDispatch() {
 			}
 		}
 		if slot == -1 {
-			return
+			return false
 		}
 		streams, ok := sm.source.NextBlock()
 		if !ok {
-			return
+			return true
 		}
 		if len(streams) > len(sm.freeSlots) {
 			panic("smcore: block dispatched beyond warp capacity")
@@ -283,6 +293,7 @@ func (sm *SM) tryDispatch() {
 			sm.runnable.PushBack(int32(wi))
 		}
 	}
+	return false
 }
 
 // retireWarp releases a finished warp and possibly its block.
@@ -296,7 +307,9 @@ func (sm *SM) retireWarp(wi int) {
 	if sm.blockWarps[slot] == 0 {
 		sm.resident--
 		sm.stats.BlocksDone++
-		if sm.source != nil {
+		if sm.deferFinish {
+			sm.pendingFinishes++
+		} else if sm.source != nil {
 			sm.source.BlockFinished()
 		}
 	}
@@ -306,8 +319,16 @@ func (sm *SM) retireWarp(wi int) {
 func (sm *SM) Cycle(now uint64) {
 	sm.stats.Cycles++
 	sm.tryDispatch()
+	sm.wakeWheel(now)
+	hasResident := sm.resident > 0
+	if hasResident {
+		sm.stats.ActiveCycles++
+	}
+	sm.issueAndAccount(now, hasResident)
+}
 
-	// Wake warps whose timer expired.
+// wakeWheel wakes warps whose timer expired at now.
+func (sm *SM) wakeWheel(now uint64) {
 	slotIdx := now % wheelSize
 	if entries := sm.wheel[slotIdx]; len(entries) > 0 {
 		for _, e := range entries {
@@ -324,12 +345,11 @@ func (sm *SM) Cycle(now uint64) {
 		}
 		sm.wheel[slotIdx] = sm.wheel[slotIdx][:0]
 	}
+}
 
-	hasResident := sm.resident > 0
-	if hasResident {
-		sm.stats.ActiveCycles++
-	}
-
+// issueAndAccount runs the issue loop for one cycle and attributes lost
+// issue slots to memory or compute stalls.
+func (sm *SM) issueAndAccount(now uint64, hasResident bool) {
 	issued := 0
 	blocked := false
 	attempts := sm.runnable.Len()
@@ -363,6 +383,78 @@ func (sm *SM) Cycle(now uint64) {
 				sm.stats.StallUnits += lost * float64(mem) / float64(mem+comp)
 			}
 		}
+	}
+}
+
+// The phase API below splits Cycle for the parallel cycle engine. One
+// simulated cycle for SM i is the sequence
+//
+//	DispatchPhase(i) ; ComputePhase(i)
+//
+// and the sequential engine's per-cycle order D0 C0 D1 C1 ... is
+// reconstructed from the phased order D0 D1 ... C0 C1 ... (all dispatches,
+// then all computes concurrently) plus an ordered recovery pass: for SMs
+// whose DispatchPhase went hungry, RedispatchPhase retries the dispatch once
+// the deferred BlockFinished notifications of lower-index SMs have been
+// replayed. See internal/sim's parallel engine for why this reconstruction
+// is exact.
+
+// SetDeferFinish switches BlockFinished deferral on or off (see deferFinish).
+func (sm *SM) SetDeferFinish(on bool) { sm.deferFinish = on }
+
+// DispatchPhase runs only the thread-block dispatch part of Cycle and
+// reports whether the SM went hungry: it had room for another block but the
+// source could not supply one because earlier blocks were still in flight.
+func (sm *SM) DispatchPhase() (hungry bool) { return sm.tryDispatch() }
+
+// ComputePhase runs the rest of Cycle: timer wakes, the issue loop, and
+// stall accounting. With deferral enabled it touches only SM-local state, so
+// ComputePhase calls on different SMs may run concurrently.
+func (sm *SM) ComputePhase(now uint64) {
+	sm.stats.Cycles++
+	sm.wakeWheel(now)
+	hasResident := sm.resident > 0
+	if hasResident {
+		sm.stats.ActiveCycles++
+	}
+	sm.issueAndAccount(now, hasResident)
+}
+
+// RedispatchPhase retries a hungry SM's dispatch after lower-index SMs'
+// deferred finishes have been replayed, and runs the compute a fresh block
+// would have received in the sequential engine (dispatch precedes issue
+// within one SM cycle). Only a completely idle SM can profit: a non-idle
+// hungry SM's own resident blocks keep its app's in-flight count above zero,
+// so the kernel relaunch it is waiting for cannot trigger this cycle and the
+// retry is skipped. For an idle SM the earlier ComputePhase was a no-op
+// (nothing runnable, no active-cycle accounting), so dispatch + active
+// accounting + issue here reproduces the sequential Cycle exactly.
+func (sm *SM) RedispatchPhase(now uint64) {
+	if sm.resident != 0 {
+		return
+	}
+	sm.tryDispatch()
+	if sm.resident == 0 {
+		return
+	}
+	sm.stats.ActiveCycles++
+	sm.issueAndAccount(now, true)
+}
+
+// ReplayFinishes delivers the BlockFinished notifications deferred during
+// ComputePhase to the block source, in aggregate (the source's accounting is
+// order-independent across blocks).
+func (sm *SM) ReplayFinishes() {
+	n := sm.pendingFinishes
+	if n == 0 {
+		return
+	}
+	sm.pendingFinishes = 0
+	if sm.source == nil {
+		return
+	}
+	for ; n > 0; n-- {
+		sm.source.BlockFinished()
 	}
 }
 

@@ -364,7 +364,13 @@ func TestDeterminismGolden(t *testing.T) {
 	}
 
 	if *updateGolden {
-		data, err := json.MarshalIndent(got, "", "  ")
+		// Merge into the existing file rather than overwriting it: the golden
+		// map also holds keys owned by other suites (the fleet CSV golden among
+		// them), and regenerating the engine fingerprints must not drop those.
+		for k, v := range got {
+			golden[k] = v
+		}
+		data, err := json.MarshalIndent(golden, "", "  ")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,80 @@
+// Fleet: demonstrate the multi-tenant fair-share layer — two tenants with
+// unequal quotas share a 2-GPU fleet, a zero-quota scavenger rides the idle
+// capacity, and the time-aware scheduler keeps allocations proportional to
+// deserved shares while DASE slowdown estimates steer job placement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dasesim/internal/config"
+	"dasesim/internal/fleet"
+	"dasesim/internal/kernels"
+)
+
+func main() {
+	f, err := fleet.New(fleet.Config{
+		GPUs: 2,
+		GPU:  config.Default(),
+		Tenants: []fleet.TenantSpec{
+			{Name: "prod", QuotaSMs: 24, Weight: 1}, // deserves 3/4 of the fleet
+			{Name: "batch", QuotaSMs: 8, Weight: 1}, // deserves 1/4
+			{Name: "scav", QuotaSMs: 0, Weight: 0},  // idle capacity only
+		},
+		WindowIntervals: 6,
+		Seed:            1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A steady stream of jobs: prod submits bandwidth-hungry streamers,
+	// batch cache-sensitive kernels, the scavenger tiny fillers.
+	bs, _ := kernels.ByAbbr("BS")
+	ct, _ := kernels.ByAbbr("CT")
+	sc, _ := kernels.ByAbbr("SC")
+	jobs := []fleet.JobSpec{
+		{ID: "prod-0", Tenant: "prod", Kernel: bs, MinSMs: 8, Work: 400_000},
+		{ID: "prod-1", Tenant: "prod", Kernel: ct, MinSMs: 6, Work: 400_000},
+		{ID: "prod-2", Tenant: "prod", Kernel: bs, MinSMs: 8, Work: 300_000},
+		{ID: "batch-0", Tenant: "batch", Kernel: ct, MinSMs: 4, Work: 300_000},
+		{ID: "batch-1", Tenant: "batch", Kernel: sc, MinSMs: 4, Work: 300_000},
+		{ID: "scav-0", Tenant: "scav", Kernel: sc, MinSMs: 1, Work: 200_000},
+		{ID: "scav-1", Tenant: "scav", Kernel: sc, MinSMs: 1, Work: 200_000},
+	}
+	for _, js := range jobs {
+		if err := f.Submit(js); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for i := 0; i < 12 && f.QueuedJobs()+f.RunningJobs() > 0; i++ {
+		if err := f.Tick(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	rec := f.Records()
+	if err := fleet.CheckAll(rec, f.Capacity(), config.Default().NumSMs); err != nil {
+		log.Fatalf("fairness invariant violated: %v", err)
+	}
+
+	fmt.Println("interval  prod  batch  scav  idle")
+	for _, r := range rec {
+		alloc := map[string]int{}
+		for _, t := range r.Tenants {
+			alloc[t.Name] = t.AllocatedSMs
+		}
+		fmt.Printf("%8d  %4d  %5d  %4d  %4d\n",
+			r.Interval, alloc["prod"], alloc["batch"], alloc["scav"], r.IdleSMs)
+	}
+
+	s := fleet.Summarize(rec, f.Capacity())
+	fmt.Printf("\nJain fairness index over deserved shares: %.4f\n", s.JainIndex)
+	for _, t := range s.Tenants {
+		fmt.Printf("  %-6s quota %2d  allocated %4d SM-intervals  mean deserved %6.2f\n",
+			t.Name, t.QuotaSMs, t.TotalSMs, t.MeanDeserved)
+	}
+	fmt.Println("\nall fairness invariants hold (work conservation, quota safety, accounting)")
+}

@@ -22,6 +22,7 @@ var exampleBins = []struct {
 	{name: "bwdecomp", args: []string{"-cycles", "60000"}},
 	{name: "estimate"},
 	{name: "fairsched"},
+	{name: "fleet"},
 	{name: "qos"},
 	{name: "quickstart"},
 	{name: "slowdown"},

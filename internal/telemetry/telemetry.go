@@ -48,6 +48,17 @@ const (
 	KindJobStarted
 	KindJobRetry
 	KindJobDone
+	// KindFleetJob is one fleet-job lifecycle transition (fleet layer):
+	// Note carries the verb (arrive/place/done/reject/cancel), Job the job
+	// id, App the tenant index, SM the GPU id (-1 when not placed), SMs the
+	// job's SM demand or assignment, Cycle the scheduling interval.
+	KindFleetJob
+	// KindFleetInterval is one tenant's view of one fleet scheduling
+	// interval: App the tenant index, Note the tenant name, SMs the SMs
+	// allocated fleet-wide this interval, Served the tenant's queued job
+	// count, Est the tenant's mean DASE-estimated slowdown across its
+	// running jobs, Cycle the scheduling interval.
+	KindFleetInterval
 )
 
 // kindNames maps Kind to its wire name (NDJSON "kind" field, Chrome trace
@@ -63,6 +74,8 @@ var kindNames = map[Kind]string{
 	KindJobStarted:    "job.started",
 	KindJobRetry:      "job.retry",
 	KindJobDone:       "job.done",
+	KindFleetJob:      "fleet.job",
+	KindFleetInterval: "fleet.interval",
 }
 
 // String returns the Kind's wire name.

@@ -30,9 +30,18 @@ import (
 // Cached runs ("(cached)" instead of a duration) match too.
 var coverLine = regexp.MustCompile(`^ok\s+(\S+)\s+\S+(?:\s+\(cached\))?\s+coverage: ([\d.]+)% of statements`)
 
+// noTestLine matches the coverage line `go test -cover` prints for a package
+// with no test files — whitespace-led, no "ok" prefix:
+//
+//	\tdasesim/cmd/calibrate\t\tcoverage: 0.0% of statements
+//
+// These packages must be parsed too: a package invisible to the ratchet is a
+// package whose coverage can silently rot.
+var noTestLine = regexp.MustCompile(`^\s+(\S+)\s+coverage: ([\d.]+)% of statements`)
+
 // parseCover extracts package → coverage percent from a `go test -cover`
-// stream, echoing each line to echo. Packages with no test files produce no
-// coverage line and are simply absent from the result.
+// stream, echoing each line to echo. Both result forms count: normal "ok"
+// lines and the whitespace-led lines of packages with no test files.
 func parseCover(r io.Reader, echo io.Writer) (map[string]float64, error) {
 	got := map[string]float64{}
 	sc := bufio.NewScanner(r)
@@ -40,6 +49,9 @@ func parseCover(r io.Reader, echo io.Writer) (map[string]float64, error) {
 		line := sc.Text()
 		fmt.Fprintln(echo, line)
 		m := coverLine.FindStringSubmatch(line)
+		if m == nil {
+			m = noTestLine.FindStringSubmatch(line)
+		}
 		if m == nil {
 			continue
 		}
@@ -62,7 +74,10 @@ func parseCover(r io.Reader, echo io.Writer) (map[string]float64, error) {
 // sit up to margin points below its floor (run-to-run noise from timing-
 // dependent paths); anything lower is a failure. Packages missing from the
 // current run but present in the ratchet fail too — deleting tests must not
-// silently drop a floor.
+// silently drop a floor. And the reverse direction is enforced as well: a
+// package the run reports but the ratchet does not list fails, so a package
+// added after the ratchet file was written cannot silently escape coverage
+// enforcement forever.
 func check(current, floors map[string]float64, margin float64) []string {
 	var failures []string
 	pkgs := make([]string, 0, len(floors))
@@ -80,6 +95,16 @@ func check(current, floors map[string]float64, margin float64) []string {
 		if cov < floor-margin {
 			failures = append(failures, fmt.Sprintf("%s: coverage %.1f%% fell below floor %.1f%% (margin %.1f)", pkg, cov, floor, margin))
 		}
+	}
+	unlisted := make([]string, 0)
+	for pkg := range current {
+		if _, ok := floors[pkg]; !ok {
+			unlisted = append(unlisted, pkg)
+		}
+	}
+	sort.Strings(unlisted)
+	for _, pkg := range unlisted {
+		failures = append(failures, fmt.Sprintf("%s: coverage %.1f%% but the package has no ratchet floor (add one with -update or by hand)", pkg, current[pkg]))
 	}
 	return failures
 }

@@ -9,6 +9,7 @@ import (
 const sampleCover = `ok  	dasesim	12.345s	coverage: 81.2% of statements
 ok  	dasesim/internal/dram	0.10s	coverage: 90.0% of statements
 ok  	dasesim/internal/ring	(cached)	coverage: 100.0% of statements
+	dasesim/cmd/calibrate		coverage: 0.0% of statements
 ?   	dasesim/examples/quickstart	[no test files]
 FAIL	dasesim/internal/broken	0.01s
 `
@@ -18,10 +19,14 @@ func TestParseCover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The whitespace-led calibrate line is the form `go test -cover` emits
+	// for packages with no test files; it must be parsed, not skipped, or
+	// such packages escape the ratchet entirely.
 	want := map[string]float64{
 		"dasesim":               81.2,
 		"dasesim/internal/dram": 90.0,
 		"dasesim/internal/ring": 100.0,
+		"dasesim/cmd/calibrate": 0.0,
 	}
 	if len(got) != len(want) {
 		t.Fatalf("parsed %v, want %v", got, want)
@@ -57,6 +62,25 @@ func TestCheckEnforcesFloors(t *testing.T) {
 	}
 	if strings.Contains(joined, "a:") {
 		t.Errorf("package within the margin reported as a failure: %v", failures)
+	}
+}
+
+func TestCheckFailsUnlistedPackages(t *testing.T) {
+	// A package present in the run but absent from the ratchet must fail:
+	// packages added after the ratchet file was written used to be silently
+	// skipped, leaving their coverage unenforced forever.
+	floors := map[string]float64{"a": 80.0}
+	current := map[string]float64{"a": 85.0, "newpkg": 95.0, "newmain": 0.0}
+	failures := check(current, floors, 2.0)
+	if len(failures) != 2 {
+		t.Fatalf("got %d failures %v, want 2 unlisted-package failures", len(failures), failures)
+	}
+	joined := strings.Join(failures, "\n")
+	if !strings.Contains(joined, "newpkg:") || !strings.Contains(joined, "newmain:") {
+		t.Errorf("failures name the wrong packages: %v", failures)
+	}
+	if !strings.Contains(joined, "no ratchet floor") {
+		t.Errorf("unlisted failure lacks guidance: %v", failures)
 	}
 }
 

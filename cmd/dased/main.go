@@ -96,6 +96,7 @@ func main() {
 	estMinSMs := flag.Int("estimate-min-sms", 0, "minimum SMs per app in recommended partitions (0: 1)")
 	estMaxApps := flag.Int("estimate-max-apps", 0, "most apps accepted per estimate snapshot (0: 8)")
 	estMaxBody := flag.Int64("estimate-max-body", 0, "largest accepted estimate body/stream line in bytes (0: 1 MiB)")
+	sloInterval := flag.Duration("slo-interval", 0, "evaluate SLO burn-rate objectives on this cadence, exporting dased_slo_burn_rate and a /readyz detail; 0 disables")
 	nodeID := flag.String("node-id", "", "this node's cluster identity; required with -peers")
 	peersFlag := flag.String("peers", "", "cluster peer map as comma-separated id=url pairs including this node; enables cluster mode")
 	hbInterval := flag.Duration("heartbeat-interval", time.Second, "cluster heartbeat period; suspicion and death timeouts scale from it")
@@ -137,6 +138,7 @@ func main() {
 		EstimateMinSMs:    *estMinSMs,
 		EstimateMaxApps:   *estMaxApps,
 		EstimateMaxBody:   *estMaxBody,
+		SLOInterval:       *sloInterval,
 	}
 	// In Options, 0 retries means "use the default"; on the command line an
 	// explicit 0 means none.
@@ -193,6 +195,9 @@ func main() {
 			HeartbeatInterval: *hbInterval,
 			JournalDir:        journalDir,
 			Logger:            logger,
+			// The cluster layer shares the job tracer's capacity setting: one
+			// flag turns on end-to-end tracing, node-local and cross-node.
+			TraceEvents: *traceEvents,
 		})
 		if err != nil {
 			fatal("cluster init", err)

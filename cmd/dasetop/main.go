@@ -1,0 +1,98 @@
+// Command dasetop is a live terminal dashboard for a dased cluster: it polls
+// the metrics-federation endpoint (GET /v1/cluster/metrics?by=node) and
+// renders per-node queue depth, cache hit rate and throughput, cluster-wide
+// estimate-latency p50/p99 sparklines, per-tenant deserved-vs-actual SM
+// shares with the Jain fairness index (from a fleet NDJSON telemetry file),
+// and SLO burn-rate status.
+//
+// Usage:
+//
+//	dasetop                                  # poll localhost every 2s
+//	dasetop -addr http://host:8844 -interval 1s
+//	dasetop -once                            # one frame to stdout, no ANSI
+//	dasetop -fleet fleet.ndjson -once        # include tenant fairness
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"dasesim/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8844", "base URL of any cluster member")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval")
+	fleetPath := flag.String("fleet", "", "fleet telemetry NDJSON file for the tenant-fairness panel")
+	once := flag.Bool("once", false, "render a single frame and exit (no screen clearing)")
+	flag.Parse()
+
+	model := NewModel()
+	var lastPoll time.Time
+	for {
+		frame, err := fetchFrame(*addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dasetop: %v\n", err)
+			os.Exit(1)
+		}
+		fleetEvents, err := readFleet(*fleetPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dasetop: %v\n", err)
+			os.Exit(1)
+		}
+		now := time.Now()
+		elapsed := 0.0
+		if !lastPoll.IsZero() {
+			elapsed = now.Sub(lastPoll).Seconds()
+		}
+		lastPoll = now
+		model.Observe(frame, fleetEvents, elapsed)
+		if *once {
+			fmt.Print(model.Render())
+			return
+		}
+		// Home + clear-to-end redraw keeps the screen stable without
+		// dragging in a terminal library.
+		fmt.Print("\x1b[H\x1b[2J" + model.Render())
+		time.Sleep(*interval)
+	}
+}
+
+// fetchFrame pulls one by-node federation snapshot from any cluster member.
+func fetchFrame(addr string) (Frame, error) {
+	var f Frame
+	resp, err := http.Get(addr + "/v1/cluster/metrics?by=node&format=json")
+	if err != nil {
+		return f, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return f, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return f, fmt.Errorf("GET /v1/cluster/metrics: status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("decode cluster metrics: %w", err)
+	}
+	return f, nil
+}
+
+// readFleet loads a fleet telemetry NDJSON file; "" means no fleet panel.
+func readFleet(path string) ([]telemetry.Event, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return telemetry.ReadNDJSON(f)
+}

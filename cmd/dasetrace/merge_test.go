@@ -1,0 +1,275 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dasesim/internal/telemetry"
+)
+
+// writeTrace serializes events as NDJSON into a temp file and returns its path.
+func writeTrace(t *testing.T, dir, name string, events []telemetry.Event) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteNDJSON(f, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// crossNodeEvents builds a three-node forwarded-job story sharing one trace:
+// queued on n1, rpc-forwarded to n2, executed and done on n2.
+func crossNodeEvents() (n1, n2 []telemetry.Event) {
+	const trace = 0xabcdef0123456789
+	n1 = []telemetry.Event{
+		{Kind: telemetry.KindJobQueued, Seq: 1, Wall: 1000, App: -1, SM: -1,
+			Job: "n2-42", Node: "n1", TraceID: trace, SpanID: 0x11, ParentID: 0x1},
+		{Kind: telemetry.KindClusterRPC, Seq: 2, Wall: 1200, App: -1, SM: -1,
+			Job: "n2", Note: "forward", Node: "n1", Dur: 900, CacheHit: true,
+			TraceID: trace, SpanID: 0x12, ParentID: 0x11},
+		{Kind: telemetry.KindJobRouted, Seq: 3, Wall: 2200, App: -1, SM: -1,
+			Job: "n2-42", Note: "n2", Node: "n1", TraceID: trace, SpanID: 0x12, ParentID: 0x11},
+	}
+	n2 = []telemetry.Event{
+		{Kind: telemetry.KindJobStarted, Seq: 1, Wall: 1600, App: -1, SM: -1,
+			Job: "n2-42", Node: "n2", TraceID: trace, SpanID: 0x21, ParentID: 0x12},
+		{Kind: telemetry.KindJobDone, Seq: 2, Wall: 2000, App: -1, SM: -1,
+			Job: "n2-42", Node: "n2", TraceID: trace, SpanID: 0x21, ParentID: 0x12},
+	}
+	return n1, n2
+}
+
+func TestReadTracesMergesByWallClock(t *testing.T) {
+	dir := t.TempDir()
+	n1, n2 := crossNodeEvents()
+	merged, err := readTraces([]string{
+		writeTrace(t, dir, "n1.ndjson", n1),
+		writeTrace(t, dir, "n2.ndjson", n2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 5 {
+		t.Fatalf("merged %d events, want 5", len(merged))
+	}
+	// Wall-clock order interleaves the nodes: queued(n1), rpc(n1),
+	// started(n2), done(n2), routed(n1).
+	wantKinds := []telemetry.Kind{
+		telemetry.KindJobQueued, telemetry.KindClusterRPC,
+		telemetry.KindJobStarted, telemetry.KindJobDone, telemetry.KindJobRouted,
+	}
+	for i, k := range wantKinds {
+		if merged[i].Kind != k {
+			t.Errorf("merged[%d].Kind = %v, want %v", i, merged[i].Kind, k)
+		}
+	}
+}
+
+func TestReadTracesRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	good := writeTrace(t, dir, "good.ndjson", []telemetry.Event{
+		{Kind: telemetry.KindJobQueued, Seq: 1, App: -1, SM: -1, Job: "j", Node: "n1"},
+	})
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"unknown kind", `{"kind":"job.exploded","seq":1,"app":-1,"sm":-1}`, "unknown event kind"},
+		{"unknown field", `{"kind":"job.queued","seq":1,"app":-1,"sm":-1,"bogus":true}`, "bogus"},
+		{"bad trace id", `{"kind":"job.queued","seq":1,"app":-1,"sm":-1,"trace_id":"zzzz"}`, "invalid trace_id"},
+		{"not json", `nope`, "line 1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			bad := filepath.Join(dir, "bad.ndjson")
+			if err := os.WriteFile(bad, []byte(c.content+"\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := readTraces([]string{good, bad})
+			if err == nil {
+				t.Fatal("want error for schema-invalid trace")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not mention %q", err, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), "bad.ndjson") {
+				t.Errorf("error %q does not name the offending file", err)
+			}
+		})
+	}
+}
+
+func TestReadTracesMissingFile(t *testing.T) {
+	if _, err := readTraces([]string{"/does/not/exist.ndjson"}); err == nil {
+		t.Fatal("want error for a missing file")
+	}
+}
+
+func TestRenderSpansCrossNodeTimeline(t *testing.T) {
+	n1, n2 := crossNodeEvents()
+	merged := append(append([]telemetry.Event(nil), n1...), n2...)
+	// Sort path exercised through readTraces elsewhere; here feed unsorted
+	// to show renderSpans groups by trace regardless.
+	out := renderSpans(merged)
+
+	for _, want := range []string{
+		"1 trace(s)",
+		"trace abcdef0123456789",
+		"2 node(s), 5 event(s)",
+		"rpc forward",
+		"routed n2-42 → n2",
+		"job.done n2-42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("renderSpans missing %q:\n%s", want, out)
+		}
+	}
+	// Both nodes must appear as hop annotations.
+	if !strings.Contains(out, "n1") || !strings.Contains(out, "n2") {
+		t.Errorf("timeline lacks node annotations:\n%s", out)
+	}
+}
+
+func TestRenderSpansCountsUntraced(t *testing.T) {
+	events := []telemetry.Event{
+		{Kind: telemetry.KindDASEApp, Seq: 1, App: 0, SM: -1}, // cycle-domain, no trace
+		{Kind: telemetry.KindJobQueued, Seq: 2, App: -1, SM: -1, Job: "j",
+			Node: "n1", TraceID: 5, SpanID: 6},
+	}
+	out := renderSpans(events)
+	if !strings.Contains(out, "1 untraced") {
+		t.Errorf("untraced count missing:\n%s", out)
+	}
+}
+
+func TestRenderSpansSeparatesTraces(t *testing.T) {
+	events := []telemetry.Event{
+		{Kind: telemetry.KindJobQueued, Seq: 1, App: -1, SM: -1, Job: "a", Node: "n1", TraceID: 1, SpanID: 2},
+		{Kind: telemetry.KindJobQueued, Seq: 2, App: -1, SM: -1, Job: "b", Node: "n1", TraceID: 3, SpanID: 4},
+	}
+	out := renderSpans(events)
+	if !strings.Contains(out, "2 trace(s)") {
+		t.Errorf("want two traces:\n%s", out)
+	}
+}
+
+func TestMergedChromeExportPerNodeTracks(t *testing.T) {
+	n1, n2 := crossNodeEvents()
+	merged, err := readTraces([]string{
+		writeTrace(t, t.TempDir(), "n1.ndjson", n1),
+		writeTrace(t, t.TempDir(), "n2.ndjson", n2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := telemetry.WriteChromeTrace(&sb, merged); err != nil {
+		t.Fatal(err)
+	}
+	data := sb.String()
+	if err := telemetry.ValidateChromeTrace([]byte(data)); err != nil {
+		t.Fatalf("merged chrome trace invalid: %v", err)
+	}
+	for _, want := range []string{`"node n1"`, `"node n2"`, "rpc forward", "job.routed"} {
+		if !strings.Contains(data, want) {
+			t.Errorf("chrome export missing %q", want)
+		}
+	}
+}
+
+func TestMultiFlag(t *testing.T) {
+	var m multiFlag
+	if err := m.Set("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("b"); err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "a,b" || len(m) != 2 {
+		t.Errorf("multiFlag = %v (%q)", m, m.String())
+	}
+}
+
+func TestRunMergedChromeFile(t *testing.T) {
+	dir := t.TempDir()
+	n1, n2 := crossNodeEvents()
+	paths := []string{
+		writeTrace(t, dir, "n1.ndjson", n1),
+		writeTrace(t, dir, "n2.ndjson", n2),
+	}
+	out := filepath.Join(dir, "merged.json")
+	if code := runMerged(paths, out); code != 0 {
+		t.Fatalf("runMerged = %d, want 0", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("written chrome trace invalid: %v", err)
+	}
+
+	// A schema-invalid input is a non-zero exit, and no partial chrome file
+	// overwrites a good one.
+	bad := filepath.Join(dir, "bad.ndjson")
+	if err := os.WriteFile(bad, []byte(`{"kind":"job.exploded","seq":1,"app":-1,"sm":-1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runMerged(append(paths, bad), out); code != 1 {
+		t.Errorf("runMerged with invalid input = %d, want 1", code)
+	}
+	if code := runMerged([]string{filepath.Join(dir, "missing.ndjson")}, ""); code != 1 {
+		t.Errorf("runMerged with missing file = %d, want 1", code)
+	}
+	// An unwritable chrome path is an error too.
+	if code := runMerged(paths, filepath.Join(dir, "no", "such", "dir.json")); code != 1 {
+		t.Errorf("runMerged with unwritable chrome path = %d, want 1", code)
+	}
+}
+
+func TestOffsetScales(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want string
+	}{
+		{0, "+0ns"},
+		{999, "+999ns"},
+		{42_000, "+42µs"},
+		{7_500_000, "+7.5ms"},
+		{2_250_000_000, "+2.25s"},
+	}
+	for _, c := range cases {
+		if got := offset(c.ns); got != c.want {
+			t.Errorf("offset(%d) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestDescribeKinds(t *testing.T) {
+	cases := []struct {
+		e    telemetry.Event
+		want string
+	}{
+		{telemetry.Event{Kind: telemetry.KindClusterRPC, Note: "steal", Job: "n2", Dur: 3000, CacheHit: false},
+			"err"},
+		{telemetry.Event{Kind: telemetry.KindJobDone, Job: "j1", CacheHit: true},
+			"(cache hit)"},
+		{telemetry.Event{Kind: telemetry.KindJobDone, Job: "j1", Note: "failed"},
+			"(failed)"},
+		{telemetry.Event{Kind: telemetry.KindJobStarted, Job: "j1", Note: "w0"},
+			"job.started j1 (w0)"},
+	}
+	for _, c := range cases {
+		if got := describe(&c.e); !strings.Contains(got, c.want) {
+			t.Errorf("describe(%v) = %q, want it to contain %q", c.e.Kind, got, c.want)
+		}
+	}
+}

@@ -51,15 +51,16 @@ var deadHandler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) 
 })
 
 type testNode struct {
-	id    string
-	dir   string // shared journal directory ("" disables hand-off)
-	peers map[string]string
-	sw    *swapHandler
-	ts    *httptest.Server
-	srv   *server.Server
-	node  *Node
-	opts  Options
-	alive bool
+	id        string
+	dir       string // shared journal directory ("" disables hand-off)
+	peers     map[string]string
+	sw        *swapHandler
+	ts        *httptest.Server
+	srv       *server.Server
+	node      *Node
+	opts      Options
+	srvAdjust func(*server.Options) // optional server-option tweaks before boot
+	alive     bool
 }
 
 func quietLogger() *slog.Logger {
@@ -78,6 +79,9 @@ func (tn *testNode) serverOpts() server.Options {
 	}
 	if tn.dir != "" {
 		opts.JournalPath = filepath.Join(tn.dir, tn.id+".wal")
+	}
+	if tn.srvAdjust != nil {
+		tn.srvAdjust(&opts)
 	}
 	return opts
 }
@@ -129,6 +133,13 @@ func (tn *testNode) kill() {
 // running). adjust tweaks each node's cluster options before boot.
 func startCluster(t *testing.T, withJournal bool, adjust func(*Options), ids ...string) map[string]*testNode {
 	t.Helper()
+	return startClusterOpts(t, withJournal, adjust, nil, ids...)
+}
+
+// startClusterOpts is startCluster with server-option tweaks too (tracing,
+// SLO evaluation) — the observability tests need both layers configured.
+func startClusterOpts(t *testing.T, withJournal bool, adjust func(*Options), srvAdjust func(*server.Options), ids ...string) map[string]*testNode {
+	t.Helper()
 	dir := ""
 	if withJournal {
 		dir = t.TempDir()
@@ -140,7 +151,7 @@ func startCluster(t *testing.T, withJournal bool, adjust func(*Options), ids ...
 		ts := httptest.NewServer(sw)
 		t.Cleanup(ts.Close)
 		peers[id] = ts.URL
-		nodes[id] = &testNode{id: id, dir: dir, peers: peers, sw: sw, ts: ts}
+		nodes[id] = &testNode{id: id, dir: dir, peers: peers, sw: sw, ts: ts, srvAdjust: srvAdjust}
 	}
 	for _, id := range ids {
 		tn := nodes[id]

@@ -9,6 +9,7 @@ import (
 
 	"dasesim/internal/journal"
 	"dasesim/internal/server"
+	"dasesim/internal/telemetry"
 )
 
 // onPeerDead fires when the failure detector declares a peer dead. Every
@@ -34,6 +35,7 @@ func (n *Node) onPeerDead(peer string) {
 		// another survivor (or nobody) is responsible.
 		return
 	}
+	n.m.handoffs.Inc()
 	n.log.Info("claimed journal", "peer", peer, "path", claimed)
 	recs, err := journal.Load(claimed)
 	if err != nil {
@@ -53,7 +55,10 @@ func (n *Node) onPeerDead(peer string) {
 		// it; honoring that acknowledgment is the whole point of hand-off.
 		n.m.handoffJobs.Inc()
 		resubmitted++
-		if status, payload := n.routeSubmit(n.ctx, j.Request); status != http.StatusAccepted {
+		// Resubmission continues the job's original trace: the journaled
+		// span becomes the parent, so dasetrace shows submit-on-dead-node
+		// and rerun-after-hand-off as one cross-node timeline.
+		if status, payload := n.routeSubmit(n.ctx, j.Request, j.Span); status != http.StatusAccepted {
 			body, _ := json.Marshal(payload)
 			n.log.Error("hand-off resubmit refused", "peer", peer, "origin", j.ID,
 				"status", status, "body", string(body))
@@ -81,7 +86,7 @@ func (n *Node) onPeerAlive(peer string) {
 func (n *Node) reconcile(peer string) {
 	ctx, cancel := context.WithTimeout(n.ctx, n.opts.RPCTimeout)
 	defer cancel()
-	st, data, err := n.tr.roundTrip(ctx, peer, http.MethodGet, n.peerURL(peer)+"/v1/jobs", nil)
+	st, data, err := n.rpc(ctx, rpcReconcile, peer, http.MethodGet, n.peerURL(peer)+"/v1/jobs", nil, telemetry.SpanContext{})
 	if err != nil || st != http.StatusOK {
 		n.log.Warn("reconcile fetch failed", "peer", peer, "status", st, "err", err)
 		return

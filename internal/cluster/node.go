@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dasesim/internal/server"
+	"dasesim/internal/telemetry"
 )
 
 // Options configures one cluster node.
@@ -40,6 +41,15 @@ type Options struct {
 	// RPCTimeout bounds intra-cluster calls (default 5s).
 	RPCTimeout time.Duration
 	Logger     *slog.Logger
+	// TraceEvents enables cluster-layer event tracing with a ring retaining
+	// the most recent N events: one cluster.rpc span per intra-cluster call
+	// and one job.routed event per forwarded or stolen job, served at
+	// GET /cluster/v1/trace. 0 disables tracing (the default). Tracing is
+	// observation-only: routing, results and cache keys are unchanged.
+	TraceEvents int
+	// TraceSeed seeds the node's span-ID source for reproducible traces in
+	// tests; 0 derives a per-node seed from Self.
+	TraceSeed uint64
 }
 
 // Node wires a local server into the cluster: it owns the ring, the
@@ -53,6 +63,10 @@ type Node struct {
 	tr   *transport
 	m    *metrics
 	log  *slog.Logger
+	// tracer records cluster-layer events when TraceEvents > 0 (nil-safe
+	// otherwise); spans mints this node's RPC and routing span IDs.
+	tracer *telemetry.Tracer
+	spans  *telemetry.SpanSource
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -118,6 +132,20 @@ func New(srv *server.Server, opts Options) (*Node, error) {
 		ctx:    ctx,
 		cancel: cancel,
 	}
+	if opts.TraceEvents > 0 {
+		n.tracer = telemetry.New(opts.TraceEvents)
+	}
+	seed := opts.TraceSeed
+	if seed == 0 {
+		// FNV-1a over "cluster/<self>": distinct from the co-located
+		// server's NodeID-derived seed, so the two span sources in one
+		// process never mint colliding IDs.
+		seed = 14695981039346656037
+		for _, b := range []byte("cluster/" + opts.Self) {
+			seed = (seed ^ uint64(b)) * 1099511628211
+		}
+	}
+	n.spans = telemetry.NewSpanSource(seed)
 	n.mem.OnDead(n.onPeerDead)
 	n.mem.OnAlive(n.onPeerAlive)
 	srv.AddReadinessCheck("cluster-quorum", func() error {
@@ -149,6 +177,48 @@ func (n *Node) Stop() {
 }
 
 func (n *Node) peerURL(id string) string { return n.opts.Peers[id] }
+
+// rpc is the instrumented intra-cluster call path: it mints a child span of
+// parent (propagated to the receiver as trace headers), measures round-trip
+// latency into dased_cluster_rpc_latency_seconds{method}, and — when tracing
+// is on — records one cluster.rpc event. The event's CacheHit field doubles
+// as the success flag; Job carries the peer ID. Latency children are
+// pre-resolved and Emit is allocation-free, so instrumentation adds no
+// allocations to the RPC hot path.
+func (n *Node) rpc(ctx context.Context, method, to, httpMethod, url string, body []byte, parent telemetry.SpanContext) (int, []byte, error) {
+	span := n.spans.Child(parent)
+	start := time.Now()
+	st, data, err := n.tr.roundTrip(ctx, to, httpMethod, url, body, span)
+	elapsed := time.Since(start)
+	if h := n.m.rpcLatency[method]; h != nil {
+		h.Observe(elapsed.Seconds())
+	}
+	if n.tracer != nil {
+		e := telemetry.Event{
+			Kind: telemetry.KindClusterRPC, Wall: start.UnixNano(),
+			Dur: elapsed.Nanoseconds(), App: -1, SM: -1,
+			Job: to, Note: method, CacheHit: err == nil,
+			Node: n.opts.Self,
+		}
+		e.SetSpan(span)
+		n.tracer.Emit(e)
+	}
+	return st, data, err
+}
+
+// emitRouted records a job.routed event: jobID was placed on peer on behalf
+// of the given span's trace.
+func (n *Node) emitRouted(jobID, peer string, sc telemetry.SpanContext) {
+	if n.tracer == nil {
+		return
+	}
+	e := telemetry.Event{
+		Kind: telemetry.KindJobRouted, Wall: time.Now().UnixNano(),
+		App: -1, SM: -1, Job: jobID, Note: peer, Node: n.opts.Self,
+	}
+	e.SetSpan(sc)
+	n.tracer.Emit(e)
+}
 
 // heartbeatLoop pushes heartbeats to every peer each interval, then advances
 // the failure detector and, when idle, tries to steal work.
@@ -201,8 +271,8 @@ func (n *Node) sendHeartbeats() {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(n.ctx, n.opts.RPCTimeout)
 			defer cancel()
-			st, _, err := n.tr.roundTrip(ctx, id, http.MethodPost,
-				n.peerURL(id)+"/cluster/v1/heartbeat", body)
+			st, _, err := n.rpc(ctx, rpcHeartbeat, id, http.MethodPost,
+				n.peerURL(id)+"/cluster/v1/heartbeat", body, telemetry.SpanContext{})
 			if err != nil || st != http.StatusOK {
 				n.m.heartbeatsFail.Inc()
 				return
@@ -227,8 +297,8 @@ func (n *Node) maybeSteal() {
 	ctx, cancel := context.WithTimeout(n.ctx, n.opts.RPCTimeout)
 	defer cancel()
 	body, _ := json.Marshal(map[string]string{"thief": n.opts.Self})
-	st, data, err := n.tr.roundTrip(ctx, victim, http.MethodPost,
-		n.peerURL(victim)+"/cluster/v1/steal", body)
+	st, data, err := n.rpc(ctx, rpcSteal, victim, http.MethodPost,
+		n.peerURL(victim)+"/cluster/v1/steal", body, telemetry.SpanContext{})
 	if err != nil || st != http.StatusOK {
 		return
 	}
@@ -236,15 +306,25 @@ func (n *Node) maybeSteal() {
 		OK      bool              `json:"ok"`
 		ID      string            `json:"id"`
 		Request server.JobRequest `json:"request"`
+		TraceID string            `json:"trace_id,omitempty"`
+		SpanID  string            `json:"span_id,omitempty"`
 	}
 	if json.Unmarshal(data, &out) != nil || !out.OK {
 		return
 	}
-	if _, err := n.srv.Submit(out.Request); err != nil {
+	// The steal response carries the victim job's span; submitting under it
+	// keeps the stolen copy on the original trace, so dasetrace reconstructs
+	// submit-on-victim → stolen-by-us as one timeline.
+	var parent telemetry.SpanContext
+	parent.TraceID, _ = telemetry.ParseSpanID(out.TraceID)
+	parent.ParentID, _ = telemetry.ParseSpanID(out.SpanID)
+	view, err := n.srv.SubmitWithSpan(out.Request, parent)
+	if err != nil {
 		n.log.Warn("stolen job dropped on resubmit", "victim", victim, "origin", out.ID, "err", err)
 		return
 	}
 	n.m.steals.Inc()
+	n.emitRouted(view.ID, n.opts.Self, parent)
 	n.log.Info("stole job", "victim", victim, "origin", out.ID)
 }
 
@@ -262,6 +342,8 @@ func (n *Node) Handler() http.Handler {
 	mux.Handle("GET /v1/jobs", n.hopAware(inner, n.handleList))
 	mux.Handle("GET /v1/jobs/{id}", n.hopAware(inner, n.handleJobProxy(inner)))
 	mux.Handle("DELETE /v1/jobs/{id}", n.hopAware(inner, n.handleJobProxy(inner)))
+	mux.HandleFunc("GET /v1/cluster/metrics", n.handleClusterMetrics)
+	mux.HandleFunc("GET /cluster/v1/trace", n.handleClusterTrace)
 	mux.Handle("/", inner)
 	return mux
 }
@@ -316,7 +398,14 @@ func (n *Node) handleSteal(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n.log.Info("job stolen", "thief", in.Thief, "id", id)
-	n.writeJSON(w, http.StatusOK, map[string]any{"ok": true, "id": id, "request": req})
+	out := map[string]any{"ok": true, "id": id, "request": req}
+	if span, ok := n.srv.JobSpan(id); ok && span.Valid() {
+		// Hand the thief the forwarded job's trace context so its re-run
+		// stays on the submitting client's timeline.
+		out["trace_id"] = telemetry.FormatSpanID(span.TraceID)
+		out["span_id"] = telemetry.FormatSpanID(span.SpanID)
+	}
+	n.writeJSON(w, http.StatusOK, out)
 }
 
 // handleSubmit is the cluster-aware POST /v1/jobs: hash the request's content
@@ -330,7 +419,7 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		n.writeJSON(w, http.StatusBadRequest, errBody(r.URL.Path, "bad request body: "+err.Error()))
 		return
 	}
-	status, payload := n.routeSubmit(r.Context(), req)
+	status, payload := n.routeSubmit(r.Context(), req, telemetry.SpanFromHeaders(r.Header))
 	n.writeJSON(w, status, payload)
 }
 
@@ -338,12 +427,16 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // response payload. Refusals that mean "try elsewhere" (queue full, shed,
 // draining, transport error, injected partition) advance down the preference
 // list; validation errors return immediately — every node would reject them
-// identically.
-func (n *Node) routeSubmit(ctx context.Context, req server.JobRequest) (int, any) {
+// identically. A valid parent span keeps the placed job on the caller's
+// trace: the routing step gets its own span, the executing node's job span
+// becomes its child (directly for local placement, via propagated headers
+// for forwards).
+func (n *Node) routeSubmit(ctx context.Context, req server.JobRequest, parent telemetry.SpanContext) (int, any) {
 	key, err := n.srv.RouteKey(req)
 	if err != nil {
 		return http.StatusBadRequest, errBody("/v1/jobs", err.Error())
 	}
+	route := n.spans.Child(parent)
 	body, _ := json.Marshal(req)
 	lastStatus, lastPayload := 0, any(nil)
 	for i, id := range n.ring.Preference(key) {
@@ -351,7 +444,7 @@ func (n *Node) routeSubmit(ctx context.Context, req server.JobRequest) (int, any
 			n.m.fallbacks.Inc()
 		}
 		if id == n.opts.Self {
-			view, err := n.srv.Submit(req)
+			view, err := n.srv.SubmitWithSpan(req, route)
 			if err == nil {
 				return http.StatusAccepted, view
 			}
@@ -366,7 +459,7 @@ func (n *Node) routeSubmit(ctx context.Context, req server.JobRequest) (int, any
 			continue
 		}
 		rctx, cancel := context.WithTimeout(ctx, n.opts.RPCTimeout)
-		st, data, err := n.tr.roundTrip(rctx, id, http.MethodPost, n.peerURL(id)+"/v1/jobs", body)
+		st, data, err := n.rpc(rctx, rpcForward, id, http.MethodPost, n.peerURL(id)+"/v1/jobs", body, route)
 		cancel()
 		if err != nil {
 			lastStatus = http.StatusServiceUnavailable
@@ -380,6 +473,7 @@ func (n *Node) routeSubmit(ctx context.Context, req server.JobRequest) (int, any
 				return http.StatusBadGateway, errBody("/v1/jobs", "bad response from "+id)
 			}
 			n.m.forwards.Inc()
+			n.emitRouted(view.ID, id, route)
 			return st, view
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			lastStatus, lastPayload = st, json.RawMessage(data)
@@ -415,12 +509,13 @@ func (n *Node) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Error  string          `json:"error,omitempty"`
 	}
 	entries := make([]entry, len(reqs))
+	parent := telemetry.SpanFromHeaders(r.Header)
 	var wg sync.WaitGroup
 	for i, req := range reqs {
 		wg.Add(1)
 		go func(i int, req server.JobRequest) {
 			defer wg.Done()
-			status, payload := n.routeSubmit(r.Context(), req)
+			status, payload := n.routeSubmit(r.Context(), req, parent)
 			e := entry{Status: status}
 			switch p := payload.(type) {
 			case server.JobView:
@@ -466,7 +561,7 @@ func (n *Node) handleList(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(r.Context(), n.opts.RPCTimeout)
 			defer cancel()
-			st, data, err := n.tr.roundTrip(ctx, id, http.MethodGet, n.peerURL(id)+"/v1/jobs", nil)
+			st, data, err := n.rpc(ctx, rpcList, id, http.MethodGet, n.peerURL(id)+"/v1/jobs", nil, telemetry.SpanContext{})
 			if err != nil || st != http.StatusOK {
 				return
 			}
@@ -514,7 +609,7 @@ func (n *Node) handleJobProxy(local http.Handler) http.HandlerFunc {
 		if q := r.URL.RawQuery; q != "" {
 			url += "?" + q
 		}
-		st, data, err := n.tr.roundTrip(ctx, owner, r.Method, url, nil)
+		st, data, err := n.rpc(ctx, rpcProxy, owner, r.Method, url, nil, telemetry.SpanFromHeaders(r.Header))
 		if err != nil {
 			local.ServeHTTP(w, r)
 			return
@@ -522,6 +617,108 @@ func (n *Node) handleJobProxy(local http.Handler) http.HandlerFunc {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(st)
 		w.Write(data)
+	}
+}
+
+// handleClusterMetrics is GET /v1/cluster/metrics: scatter-gather metrics
+// federation. Every reachable member's registry snapshot (self included) is
+// merged by metric name and label values — counters add, gauges sum,
+// histograms merge buckets — and rendered as Prometheus text, so the cluster
+// scrapes like a single node. ?by=node keeps per-node resolution by adding a
+// leading "node" label to every series instead of summing it away;
+// ?format=json returns the structured snapshot dasetop consumes.
+func (n *Node) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	nodes := n.gatherSnapshots(r.Context())
+	var fams []telemetry.FamilySnapshot
+	if r.URL.Query().Get("by") == "node" {
+		fams = telemetry.ByNodeSnapshots(nodes)
+	} else {
+		fams = telemetry.MergeSnapshots(nodes)
+	}
+	ids := make([]string, 0, len(nodes))
+	for _, ns := range nodes {
+		ids = append(ids, ns.Node)
+	}
+	sort.Strings(ids)
+	switch format := r.URL.Query().Get("format"); format {
+	case "json":
+		n.writeJSON(w, http.StatusOK, map[string]any{"nodes": ids, "families": fams})
+	case "", "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		telemetry.WritePrometheusSnapshot(w, fams)
+	default:
+		n.writeJSON(w, http.StatusBadRequest,
+			errBody(r.URL.Path, "unknown format "+strconv.Quote(format)+" (prom | json)"))
+	}
+}
+
+// gatherSnapshots collects the local registry snapshot plus every live
+// peer's GET /v1/metrics/snapshot, concurrently. Unreachable peers are
+// simply absent from the result — federation degrades to the nodes that
+// answer rather than failing the scrape.
+func (n *Node) gatherSnapshots(ctx context.Context) []telemetry.NodeSnapshot {
+	nodes := []telemetry.NodeSnapshot{{
+		Node:     n.opts.Self,
+		Families: n.srv.MetricsRegistry().Snapshot(),
+	}}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, id := range n.ring.Nodes() {
+		if id == n.opts.Self || n.mem.State(id) == StateDead {
+			continue
+		}
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			rctx, cancel := context.WithTimeout(ctx, n.opts.RPCTimeout)
+			defer cancel()
+			st, data, err := n.rpc(rctx, rpcMetrics, id, http.MethodGet,
+				n.peerURL(id)+"/v1/metrics/snapshot", nil, telemetry.SpanContext{})
+			if err != nil || st != http.StatusOK {
+				return
+			}
+			var snap telemetry.NodeSnapshot
+			if json.Unmarshal(data, &snap) != nil {
+				return
+			}
+			if snap.Node == "" {
+				snap.Node = id
+			}
+			mu.Lock()
+			nodes = append(nodes, snap)
+			mu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Node < nodes[j].Node })
+	return nodes
+}
+
+// handleClusterTrace is GET /cluster/v1/trace: this node's cluster-layer
+// events (RPC spans, routed jobs) as Chrome trace-event JSON, or NDJSON with
+// ?format=ndjson for merging across nodes with cmd/dasetrace.
+func (n *Node) handleClusterTrace(w http.ResponseWriter, r *http.Request) {
+	if n.tracer == nil {
+		n.writeJSON(w, http.StatusNotFound,
+			errBody(r.URL.Path, "cluster tracing disabled; start the node with trace events enabled"))
+		return
+	}
+	events := n.tracer.Events()
+	var err error
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		err = telemetry.WriteChromeTrace(w, events)
+	case "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		err = telemetry.WriteNDJSON(w, events)
+	default:
+		n.writeJSON(w, http.StatusBadRequest,
+			errBody(r.URL.Path, "unknown format "+strconv.Quote(format)+" (chrome | ndjson)"))
+		return
+	}
+	if err != nil {
+		n.log.Error("write cluster trace failed", "err", err)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dasesim/internal/faults"
+	"dasesim/internal/telemetry"
 )
 
 // HopHeader marks a request already routed by a peer. A node receiving it
@@ -37,8 +38,10 @@ func newTransport(self string, timeout time.Duration) *transport {
 
 // roundTrip sends one intra-cluster request and returns the status and body.
 // Injected partitions surface as transport errors (the caller cannot tell
-// them from a dead peer, by design), never as HTTP statuses.
-func (t *transport) roundTrip(ctx context.Context, to, method, url string, body []byte) (int, []byte, error) {
+// them from a dead peer, by design), never as HTTP statuses. A valid span
+// context travels as trace headers, so the receiving node's work joins the
+// caller's timeline.
+func (t *transport) roundTrip(ctx context.Context, to, method, url string, body []byte, sc telemetry.SpanContext) (int, []byte, error) {
 	label := t.self + "->" + to
 	if err := faults.FireLabeledCtx(ctx, "cluster.dial", label); err != nil {
 		return 0, nil, fmt.Errorf("cluster: dial %s: %w", to, err)
@@ -62,6 +65,7 @@ func (t *transport) roundTrip(ctx context.Context, to, method, url string, body 
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set(HopHeader, t.self)
+	sc.SetHeaders(req.Header)
 	resp, err := t.client.Do(req)
 	if err != nil {
 		return 0, nil, err

@@ -672,6 +672,7 @@ func (f *Fleet) account(placements []Placement) {
 				Kind: telemetry.KindFleetInterval, Cycle: uint64(f.interval),
 				App: int32(t.index), SM: -1, Note: t.spec.Name,
 				SMs: int32(smsNow), Served: uint64(len(t.queue)), Est: tr.MeanSlowdown,
+				Deserved: float64(t.deserved),
 			})
 		}
 	}

@@ -50,8 +50,9 @@ func SubmitStatus(err error) int {
 //	POST   /v1/estimate          online DASE estimation (object or array batch)
 //	POST   /v1/estimate/stream   NDJSON request/response estimation stream
 //	GET    /healthz              liveness probe (503 only while draining)
-//	GET    /readyz               readiness probe (503 during replay, drain, or failed checks)
+//	GET    /readyz               readiness probe (503 during replay, drain, or failed checks; SLO detail when enabled)
 //	GET    /metrics              Prometheus text metrics
+//	GET    /v1/metrics/snapshot  structured registry snapshot (metrics federation wire form)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -65,6 +66,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/metrics/snapshot", s.handleMetricsSnapshot)
 	return s.logMiddleware(mux)
 }
 
@@ -139,14 +141,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	job, err := s.submit(req)
+	// Continue the caller's trace when the request carries context headers
+	// (set by clients or by a forwarding cluster peer); absent headers start
+	// a fresh trace.
+	job, err := s.submitSpan(req, telemetry.SpanFromHeaders(r.Header))
 	switch {
 	case err != nil:
 		s.writeError(w, r, SubmitStatus(err), err.Error())
 	default:
 		s.mu.Lock()
 		v := job.view()
+		span := job.span
 		s.mu.Unlock()
+		span.SetHeaders(w.Header())
 		s.writeJSON(w, r, http.StatusAccepted, v)
 	}
 }
@@ -270,12 +277,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // traffic. It reports 503 until Start has finished journal replay, while
 // draining, and whenever any registered readiness check (e.g. cluster quorum)
 // fails.
+// Enabled SLO evaluation adds an "slo" detail listing each objective's
+// current status and burn rate; alerting objectives are informational — a
+// node burning error budget should still receive traffic, just also a page.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if err := s.Ready(); err != nil {
-		s.writeJSON(w, r, http.StatusServiceUnavailable, map[string]string{
+		body := map[string]any{
 			"status": "unavailable",
 			"reason": err.Error(),
-		})
+		}
+		if st := s.SLOStatuses(); st != nil {
+			body["slo"] = st
+		}
+		s.writeJSON(w, r, http.StatusServiceUnavailable, body)
+		return
+	}
+	if st := s.SLOStatuses(); st != nil {
+		s.writeJSON(w, r, http.StatusOK, map[string]any{"status": "ready", "slo": st})
 		return
 	}
 	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ready"})
@@ -284,4 +302,13 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WritePrometheus(w)
+}
+
+// handleMetricsSnapshot serves the registry as a structured NodeSnapshot —
+// the wire form the cluster's metrics federation scatter-gathers and merges.
+func (s *Server) handleMetricsSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, http.StatusOK, telemetry.NodeSnapshot{
+		Node:     s.opts.NodeID,
+		Families: s.metrics.reg.Snapshot(),
+	})
 }

@@ -96,6 +96,18 @@ type Job struct {
 	// submission (or replay) before the job is visible and is internally
 	// concurrency-safe, so reading it needs no lock.
 	tracer *telemetry.Tracer
+	// span is the job's trace context, minted at submission (a child of the
+	// client's or forwarding node's span when the request carried one) and
+	// immutable afterwards, so reading it needs no lock either.
+	span telemetry.SpanContext
+}
+
+// emit stamps the job's span onto e and records it; nil-tracer safe and
+// allocation-free, so it is unconditional at every lifecycle site.
+func (j *Job) emit(node string, e telemetry.Event) {
+	e.SetSpan(j.span)
+	e.Node = node
+	j.tracer.Emit(e)
 }
 
 // JobView is the JSON representation of a job returned by the API.

@@ -64,7 +64,7 @@ func (s *Server) runJob(job *Job) {
 	if attempt == 1 {
 		s.metrics.queueWait.Observe(queueWait.Seconds())
 	}
-	job.tracer.Emit(telemetry.Event{
+	job.emit(s.opts.NodeID, telemetry.Event{
 		Kind: telemetry.KindJobStarted, Wall: job.StartedAt.UnixNano(),
 		App: -1, SM: -1, Job: job.ID, Attempt: int32(attempt),
 	})
@@ -121,7 +121,7 @@ func (s *Server) finishJob(job *Job, res *JobResult, cacheHit bool, err error) {
 		delay := s.backoffLocked(attempt)
 		s.metrics.jobRetries.Add(1)
 		s.mu.Unlock()
-		job.tracer.Emit(telemetry.Event{
+		job.emit(s.opts.NodeID, telemetry.Event{
 			Kind: telemetry.KindJobRetry, Wall: time.Now().UnixNano(),
 			App: -1, SM: -1, Job: job.ID, Attempt: int32(attempt), Note: err.Error(),
 		})
@@ -155,7 +155,7 @@ func (s *Server) finalizeLocked(job *Job, status Status, errMsg string, res *Job
 	job.CacheHit = cacheHit
 	job.FinishedAt = time.Now()
 	close(job.done)
-	job.tracer.Emit(telemetry.Event{
+	job.emit(s.opts.NodeID, telemetry.Event{
 		Kind: telemetry.KindJobDone, Wall: job.FinishedAt.UnixNano(),
 		App: -1, SM: -1, Job: job.ID, Note: string(status),
 		Attempt: int32(job.Attempts), CacheHit: cacheHit,

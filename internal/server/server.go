@@ -41,6 +41,7 @@ import (
 	"dasesim/internal/journal"
 	"dasesim/internal/kernels"
 	"dasesim/internal/simcache"
+	"dasesim/internal/slo"
 	"dasesim/internal/telemetry"
 )
 
@@ -134,6 +135,18 @@ type Options struct {
 	// "job-7") so IDs stay globally unique — and routable — across a
 	// multi-node dased cluster. Must not contain "-job-" or "/".
 	NodeID string
+	// TraceSeed seeds the span-ID source so tests get reproducible trace
+	// IDs; 0 (the default) derives a per-node seed from NodeID, keeping IDs
+	// distinct across cluster members.
+	TraceSeed uint64
+	// SLOInterval enables the SLO evaluator: every interval the server
+	// snapshots its own metrics registry, recomputes objective statuses and
+	// burn rates, and exports dased_slo_burn_rate. 0 (the default) disables
+	// evaluation.
+	SLOInterval time.Duration
+	// SLOObjectives overrides the evaluated objectives; nil takes
+	// slo.DefaultObjectives(). Only read when SLOInterval > 0.
+	SLOObjectives []slo.Objective
 }
 
 // withDefaults fills unset options.
@@ -217,6 +230,10 @@ type Server struct {
 	queue   chan *Job
 	journal *journal.Journal
 	est     *estimate.Service
+	spans   *telemetry.SpanSource
+
+	sloMu   sync.Mutex
+	sloEval *slo.Evaluator // nil when SLO evaluation is disabled
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -266,6 +283,23 @@ func New(opts Options) (*Server, error) {
 		rng:        rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64())),
 		jobs:       map[string]*Job{},
 	}
+	seed := opts.TraceSeed
+	if seed == 0 {
+		// FNV-1a over the node ID: distinct nodes mint distinct span IDs
+		// even when every TraceSeed is left defaulted.
+		seed = 14695981039346656037
+		for i := 0; i < len(opts.NodeID); i++ {
+			seed = (seed ^ uint64(opts.NodeID[i])) * 1099511628211
+		}
+	}
+	s.spans = telemetry.NewSpanSource(seed)
+	if opts.SLOInterval > 0 {
+		objectives := opts.SLOObjectives
+		if objectives == nil {
+			objectives = slo.DefaultObjectives()
+		}
+		s.sloEval = slo.NewEvaluator(objectives)
+	}
 	s.est = estimate.NewService(estimate.Options{
 		Cfg:     opts.Cfg,
 		MinSMs:  opts.EstimateMinSMs,
@@ -278,6 +312,13 @@ func New(opts Options) (*Server, error) {
 			return st.Hits, st.Misses, st.Evictions, st.Entries
 		},
 	)
+	if s.sloEval != nil {
+		names := make([]string, 0, len(s.sloEval.Objectives()))
+		for _, o := range s.sloEval.Objectives() {
+			names = append(names, o.Name)
+		}
+		s.metrics.initSLO(names)
+	}
 	if opts.TraceDir != "" {
 		if err := os.MkdirAll(opts.TraceDir, 0o755); err != nil {
 			cancel()
@@ -302,6 +343,27 @@ func New(opts Options) (*Server, error) {
 // queryable across restarts.
 type submittedData struct {
 	Request JobRequest `json:"request"`
+	// Trace context, as zero-padded hex so the journal stays greppable.
+	// Restored on replay and carried through hand-off, the cross-node job
+	// timeline survives the crash it is most interesting for.
+	TraceID  string `json:"trace_id,omitempty"`
+	SpanID   string `json:"span_id,omitempty"`
+	ParentID string `json:"parent_id,omitempty"`
+}
+
+// spanWire renders a span context in the journal's hex form.
+func spanWire(sc telemetry.SpanContext) (traceID, spanID, parentID string) {
+	return telemetry.FormatSpanID(sc.TraceID), telemetry.FormatSpanID(sc.SpanID), telemetry.FormatSpanID(sc.ParentID)
+}
+
+// spanFromWire parses the journal's hex span form, tolerating absent or
+// malformed fields (old journals carry none).
+func spanFromWire(traceID, spanID, parentID string) telemetry.SpanContext {
+	var sc telemetry.SpanContext
+	sc.TraceID, _ = telemetry.ParseSpanID(traceID)
+	sc.SpanID, _ = telemetry.ParseSpanID(spanID)
+	sc.ParentID, _ = telemetry.ParseSpanID(parentID)
+	return sc
 }
 
 type startedData struct {
@@ -358,6 +420,7 @@ func (s *Server) replay(records []journal.Record) {
 	type state struct {
 		req      JobRequest
 		haveReq  bool
+		span     telemetry.SpanContext
 		started  time.Time
 		submit   time.Time
 		finished time.Time
@@ -378,6 +441,7 @@ func (s *Server) replay(records []journal.Record) {
 			var d submittedData
 			if json.Unmarshal(rec.Data, &d) == nil {
 				st.req, st.haveReq = d.Request, true
+				st.span = spanFromWire(d.TraceID, d.SpanID, d.ParentID)
 				st.submit = rec.Time
 			}
 		case journal.OpStarted:
@@ -414,6 +478,7 @@ func (s *Server) replay(records []journal.Record) {
 			Request:     st.req,
 			SubmittedAt: st.submit,
 			Attempts:    st.attempts,
+			span:        st.span,
 			done:        make(chan struct{}),
 		}
 		switch {
@@ -457,7 +522,7 @@ func (s *Server) replay(records []journal.Record) {
 				job.plan = pl
 				if s.opts.TraceEvents > 0 {
 					job.tracer = telemetry.New(s.opts.TraceEvents)
-					job.tracer.Emit(telemetry.Event{
+					job.emit(s.opts.NodeID, telemetry.Event{
 						Kind: telemetry.KindJobQueued, Wall: job.SubmittedAt.UnixNano(),
 						App: -1, SM: -1, Job: job.ID, Note: "replayed",
 					})
@@ -498,7 +563,9 @@ func (s *Server) compactLocked() error {
 		if !ok {
 			continue
 		}
-		add(journal.OpSubmitted, id, j.SubmittedAt, submittedData{Request: j.Request})
+		sub := submittedData{Request: j.Request}
+		sub.TraceID, sub.SpanID, sub.ParentID = spanWire(j.span)
+		add(journal.OpSubmitted, id, j.SubmittedAt, sub)
 		switch {
 		case j.Status.terminal():
 			add(journal.OpFinished, id, j.FinishedAt, finishedData{
@@ -542,6 +609,60 @@ func (s *Server) Start() {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if s.sloEval != nil {
+		s.wg.Add(1)
+		go s.sloLoop()
+	}
+}
+
+// sloLoop re-evaluates the SLO objectives on the configured cadence until the
+// server starts draining.
+func (s *Server) sloLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.SLOInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.SLOTick()
+		case <-s.drainCh:
+			return
+		}
+	}
+}
+
+// SLOTick runs one SLO evaluation over the server's own metrics registry and
+// publishes the resulting burn rates. It is exported so tests (and a cluster
+// node wanting a fresh reading) can force an evaluation between ticker fires;
+// a server without SLO evaluation returns nil.
+func (s *Server) SLOTick() []slo.Status {
+	if s.sloEval == nil {
+		return nil
+	}
+	snap := s.metrics.reg.Snapshot()
+	s.sloMu.Lock()
+	statuses := s.sloEval.Tick(snap)
+	s.sloMu.Unlock()
+	for _, st := range statuses {
+		s.metrics.sloBurn.With(st.Name).Set(st.MaxBurn)
+		alerting := 0.0
+		if st.Alerting {
+			alerting = 1
+		}
+		s.metrics.sloAlerting.With(st.Name).Set(alerting)
+	}
+	return statuses
+}
+
+// SLOStatuses returns the statuses computed by the most recent evaluation
+// (nil when SLO evaluation is disabled or has not ticked yet).
+func (s *Server) SLOStatuses() []slo.Status {
+	if s.sloEval == nil {
+		return nil
+	}
+	s.sloMu.Lock()
+	defer s.sloMu.Unlock()
+	return s.sloEval.Statuses()
 }
 
 // Shutdown gracefully stops the server: no new submissions are accepted,
@@ -606,6 +727,12 @@ func (s *Server) lookup(abbr string) (kernels.Profile, bool) {
 // crash. Queue capacity is checked under the mutex first (all queue sends
 // hold it), which keeps the journal free of records for rejected jobs.
 func (s *Server) submit(req JobRequest) (*Job, error) {
+	return s.submitSpan(req, telemetry.SpanContext{})
+}
+
+// submitSpan is submit continuing the caller's trace context; a zero parent
+// starts a new trace.
+func (s *Server) submitSpan(req JobRequest, parent telemetry.SpanContext) (*Job, error) {
 	pl, err := s.buildPlan(req)
 	if err != nil {
 		return nil, err
@@ -635,16 +762,22 @@ func (s *Server) submit(req JobRequest) (*Job, error) {
 		Status:      StatusQueued,
 		SubmittedAt: time.Now(),
 		plan:        pl,
-		done:        make(chan struct{}),
+		// Every job gets a span: a child of the caller's context when the
+		// request carried trace headers (or arrived via a forwarding peer),
+		// a fresh root otherwise.
+		span: s.spans.Child(parent),
+		done: make(chan struct{}),
 	}
 	if s.opts.TraceEvents > 0 {
 		job.tracer = telemetry.New(s.opts.TraceEvents)
-		job.tracer.Emit(telemetry.Event{
+		job.emit(s.opts.NodeID, telemetry.Event{
 			Kind: telemetry.KindJobQueued, Wall: job.SubmittedAt.UnixNano(),
 			App: -1, SM: -1, Job: job.ID,
 		})
 	}
-	if err := s.appendJournalBounded(journal.OpSubmitted, job.ID, submittedData{Request: req}); err != nil {
+	sub := submittedData{Request: req}
+	sub.TraceID, sub.SpanID, sub.ParentID = spanWire(job.span)
+	if err := s.appendJournalBounded(journal.OpSubmitted, job.ID, sub); err != nil {
 		s.nextID--
 		s.metrics.journalErrors.Add(1)
 		return nil, fmt.Errorf("%w: %v", ErrJournal, err)
@@ -698,7 +831,7 @@ func (s *Server) cancelJob(id string) (found, canceled bool) {
 		job.FinishedAt = time.Now()
 		close(job.done)
 		s.metrics.jobsCanceled.Add(1)
-		job.tracer.Emit(telemetry.Event{
+		job.emit(s.opts.NodeID, telemetry.Event{
 			Kind: telemetry.KindJobDone, Wall: job.FinishedAt.UnixNano(),
 			App: -1, SM: -1, Job: job.ID, Note: string(StatusCanceled),
 		})
@@ -739,13 +872,33 @@ func (s *Server) NodeID() string { return s.opts.NodeID }
 // the in-process equivalent of POST /v1/jobs; map errors to HTTP statuses
 // with SubmitStatus. The cluster layer calls it for locally-routed work.
 func (s *Server) Submit(req JobRequest) (JobView, error) {
-	job, err := s.submit(req)
+	return s.SubmitWithSpan(req, telemetry.SpanContext{})
+}
+
+// SubmitWithSpan is Submit continuing an existing trace: the job's span
+// becomes a child of parent, so a forwarded, stolen or handed-off job stays
+// on the timeline the submitting node started. A zero parent starts a new
+// trace.
+func (s *Server) SubmitWithSpan(req JobRequest, parent telemetry.SpanContext) (JobView, error) {
+	job, err := s.submitSpan(req, parent)
 	if err != nil {
 		return JobView{}, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return job.view(), nil
+}
+
+// JobSpan returns a job's trace context, for layers that relay the job
+// onwards (the cluster's steal response carries it to the thief).
+func (s *Server) JobSpan(id string) (telemetry.SpanContext, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return telemetry.SpanContext{}, false
+	}
+	return j.span, true
 }
 
 // View returns the view of one job.
@@ -869,6 +1022,9 @@ type JournaledJob struct {
 	Status   Status
 	Result   *JobResult
 	Terminal bool
+	// Span is the job's trace context as journaled at submission; re-running
+	// the job elsewhere continues its original timeline.
+	Span telemetry.SpanContext
 }
 
 // ExtractJournalJobs reconstructs job states from raw journal records using
@@ -880,6 +1036,7 @@ func ExtractJournalJobs(records []journal.Record) []JournaledJob {
 	type state struct {
 		req     JobRequest
 		haveReq bool
+		span    telemetry.SpanContext
 		fin     *finishedData
 	}
 	states := map[string]*state{}
@@ -896,6 +1053,7 @@ func ExtractJournalJobs(records []journal.Record) []JournaledJob {
 			var d submittedData
 			if json.Unmarshal(rec.Data, &d) == nil {
 				st.req, st.haveReq = d.Request, true
+				st.span = spanFromWire(d.TraceID, d.SpanID, d.ParentID)
 			}
 		case journal.OpFinished:
 			var d finishedData
@@ -912,7 +1070,7 @@ func ExtractJournalJobs(records []journal.Record) []JournaledJob {
 		if !st.haveReq {
 			continue
 		}
-		jj := JournaledJob{ID: id, Request: st.req, Status: StatusQueued}
+		jj := JournaledJob{ID: id, Request: st.req, Status: StatusQueued, Span: st.span}
 		if st.fin != nil {
 			jj.Status = st.fin.Status
 			jj.Result = st.fin.Result

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dasesim/internal/slo"
+)
+
+// TestServerSLOIntegration wires the SLO evaluator into a live server: the
+// burn-rate gauges appear on /metrics, /readyz reports per-objective status,
+// and driving an impossible latency objective with real estimate traffic
+// makes the burn rate climb — all through public surfaces only.
+func TestServerSLOIntegration(t *testing.T) {
+	objectives := []slo.Objective{
+		{
+			// Impossible on purpose: no estimate completes in a femtosecond,
+			// so every observation burns error budget.
+			Name:      "estimate-impossible",
+			Metric:    "dased_estimate_latency_seconds",
+			Threshold: 1e-15,
+			Target:    0.99,
+		},
+		{
+			// Trivially satisfied: estimates finish within an hour.
+			Name:      "estimate-generous",
+			Metric:    "dased_estimate_latency_seconds",
+			Threshold: 3600,
+			Target:    0.5,
+		},
+	}
+	// A one-hour interval keeps the background loop quiet; the test forces
+	// evaluations via SLOTick for determinism.
+	s, ts := newTestServer(t, Options{SLOInterval: time.Hour, SLOObjectives: objectives})
+
+	// Before any traffic the gauges exist, zero-valued, on /metrics.
+	metrics := fetchMetrics(t, ts)
+	for _, want := range []string{
+		`dased_slo_burn_rate{objective="estimate-impossible"} 0`,
+		`dased_slo_alerting{objective="estimate-impossible"} 0`,
+		`dased_slo_burn_rate{objective="estimate-generous"} 0`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics before traffic missing %q", want)
+		}
+	}
+
+	// Real traffic: every estimate violates the impossible objective.
+	for i := 0; i < 5; i++ {
+		resp, data := postEstimate(t, ts, estBody(uint64(100+i)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("estimate %d: status %d: %s", i, resp.StatusCode, data)
+		}
+	}
+	statuses := s.SLOTick()
+	if len(statuses) != 2 {
+		t.Fatalf("SLOTick returned %d statuses, want 2", len(statuses))
+	}
+	byName := map[string]slo.Status{}
+	for _, st := range statuses {
+		byName[st.Name] = st
+	}
+	imp := byName["estimate-impossible"]
+	if imp.Current != 0 {
+		t.Errorf("impossible objective good-fraction = %v, want 0", imp.Current)
+	}
+	if imp.MaxBurn <= 1 {
+		t.Errorf("impossible objective burn = %v, want > 1 (budget burning fast)", imp.MaxBurn)
+	}
+	gen := byName["estimate-generous"]
+	if gen.Current != 1 || gen.MaxBurn != 0 {
+		t.Errorf("generous objective = current %v burn %v, want 1 and 0", gen.Current, gen.MaxBurn)
+	}
+
+	// The evaluation lands on the exposition.
+	metrics = fetchMetrics(t, ts)
+	if strings.Contains(metrics, `dased_slo_burn_rate{objective="estimate-impossible"} 0`) {
+		t.Error("/metrics still reports zero burn for the violated objective")
+	}
+
+	// /readyz carries the per-objective detail while staying 200: burning
+	// budget is a page, not a reason to shed traffic.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz status %d, want 200", resp.StatusCode)
+	}
+	var body struct {
+		Status string       `json:"status"`
+		SLO    []slo.Status `json:"slo"`
+	}
+	data, _ := io.ReadAll(resp.Body)
+	if err := json.Unmarshal(data, &body); err != nil {
+		t.Fatalf("/readyz body: %v\n%s", err, data)
+	}
+	if body.Status != "ready" || len(body.SLO) != 2 {
+		t.Fatalf("/readyz = %s with %d objectives, want ready with 2:\n%s",
+			body.Status, len(body.SLO), data)
+	}
+	for _, st := range body.SLO {
+		if st.Name == "estimate-impossible" && st.MaxBurn <= 1 {
+			t.Errorf("/readyz burn for violated objective = %v, want > 1", st.MaxBurn)
+		}
+	}
+}
+
+// TestServerSLODisabled pins the default-off behaviour: no SLOInterval means
+// no evaluator, no gauges, and a bare /readyz body.
+func TestServerSLODisabled(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	if got := s.SLOTick(); got != nil {
+		t.Fatalf("SLOTick on a non-SLO server = %v, want nil", got)
+	}
+	if strings.Contains(fetchMetrics(t, ts), "dased_slo_burn_rate") {
+		t.Error("SLO gauges exported without SLO evaluation enabled")
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(data), `"slo"`) {
+		t.Errorf("/readyz carries an slo detail without evaluation enabled: %s", data)
+	}
+}
+
+// TestServerSLODefaultObjectives checks nil SLOObjectives falls back to the
+// stock set, and the background loop publishes without manual ticks.
+func TestServerSLODefaultObjectives(t *testing.T) {
+	s, ts := newTestServer(t, Options{SLOInterval: 10 * time.Millisecond})
+	want := map[string]bool{}
+	for _, o := range slo.DefaultObjectives() {
+		want[o.Name] = true
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := s.SLOStatuses(); len(st) == len(want) {
+			for _, o := range st {
+				if !want[o.Name] {
+					t.Fatalf("unexpected objective %q", o.Name)
+				}
+			}
+			if !strings.Contains(fetchMetrics(t, ts), "dased_slo_burn_rate") {
+				t.Fatal("loop ticked but gauges missing from /metrics")
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("background SLO loop never published statuses")
+}

@@ -1,0 +1,225 @@
+package slo
+
+import (
+	"testing"
+	"time"
+
+	"dasesim/internal/telemetry"
+)
+
+// histSnap builds a one-family snapshot with the given bucket counts
+// (non-cumulative, +Inf last).
+func histSnap(name string, bounds []float64, counts []uint64) []telemetry.FamilySnapshot {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	return []telemetry.FamilySnapshot{{
+		Name: name, Type: "histogram", Buckets: bounds,
+		Points: []telemetry.PointSnapshot{{BucketCounts: counts, Count: total}},
+	}}
+}
+
+func gaugeSnap(name string, v float64) []telemetry.FamilySnapshot {
+	return []telemetry.FamilySnapshot{{
+		Name: name, Type: "gauge",
+		Points: []telemetry.PointSnapshot{{Value: v}},
+	}}
+}
+
+// fakeClock steps a deterministic wall clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func TestHistogramObjectiveHealthy(t *testing.T) {
+	clk := newFakeClock()
+	obj := Objective{
+		Name: "lat", Metric: "m", Threshold: 0.001, Target: 0.99,
+		Alerts: []Alert{{Long: 10 * time.Minute, Short: time.Minute, Burn: 14.4}},
+	}
+	e := NewEvaluator([]Objective{obj}, WithClock(clk.now))
+	bounds := []float64{0.0005, 0.001, 0.005}
+
+	// 1000 observations per tick, all under the threshold.
+	var good uint64
+	var statuses []Status
+	for i := 0; i < 12; i++ {
+		good += 1000
+		statuses = e.Tick(histSnap("m", bounds, []uint64{good / 2, good / 2, 0, 0}))
+		clk.advance(time.Minute)
+	}
+	st := statuses[0]
+	if st.Alerting {
+		t.Fatalf("healthy service alerting: %+v", st)
+	}
+	if st.Current != 1 {
+		t.Fatalf("current good fraction = %g, want 1", st.Current)
+	}
+	if st.MaxBurn != 0 {
+		t.Fatalf("max burn = %g, want 0", st.MaxBurn)
+	}
+	if len(st.Windows) != 2 {
+		t.Fatalf("want 2 windows, got %+v", st.Windows)
+	}
+}
+
+func TestHistogramObjectiveFastBurnAlerts(t *testing.T) {
+	clk := newFakeClock()
+	obj := Objective{
+		Name: "lat", Metric: "m", Threshold: 0.001, Target: 0.99,
+		Alerts: []Alert{{Long: 10 * time.Minute, Short: time.Minute, Burn: 14.4}},
+	}
+	e := NewEvaluator([]Objective{obj}, WithClock(clk.now))
+	bounds := []float64{0.001}
+
+	// Healthy warm-up, then every observation breaches the threshold: the
+	// bad ratio goes to ~1 in both windows, burn rate ~1/budget = 100.
+	var good, bad uint64
+	var statuses []Status
+	for i := 0; i < 20; i++ {
+		if i < 10 {
+			good += 1000
+		} else {
+			bad += 1000
+		}
+		statuses = e.Tick(histSnap("m", bounds, []uint64{good, bad}))
+		clk.advance(time.Minute)
+	}
+	st := statuses[0]
+	if !st.Alerting {
+		t.Fatalf("sustained total breach must alert: %+v", st)
+	}
+	if st.MaxBurn < 50 {
+		t.Fatalf("max burn = %g, want ~100", st.MaxBurn)
+	}
+}
+
+func TestMultiWindowGatesOnShortWindow(t *testing.T) {
+	clk := newFakeClock()
+	obj := Objective{
+		Name: "lat", Metric: "m", Threshold: 0.001, Target: 0.9,
+		Alerts: []Alert{{Long: 20 * time.Minute, Short: 2 * time.Minute, Burn: 5}},
+	}
+	e := NewEvaluator([]Objective{obj}, WithClock(clk.now))
+	bounds := []float64{0.001}
+
+	// A burst of bad observations, then full recovery. While the burst is
+	// fresh both windows burn; once only good observations accumulate the
+	// short window clears and the alert must resolve even though the long
+	// window still carries the burst.
+	var good, bad uint64
+	alertedDuringBurst := false
+	var st Status
+	for i := 0; i < 22; i++ {
+		if i >= 2 && i < 8 {
+			bad += 1000
+		} else {
+			good += 1000
+		}
+		st = e.Tick(histSnap("m", bounds, []uint64{good, bad}))[0]
+		if i < 10 && st.Alerting {
+			alertedDuringBurst = true
+		}
+		clk.advance(time.Minute)
+	}
+	if !alertedDuringBurst {
+		t.Fatal("burst never alerted")
+	}
+	if st.Alerting {
+		t.Fatalf("alert must resolve after recovery (short window clean): %+v", st)
+	}
+}
+
+func TestGaugeObjectiveFairness(t *testing.T) {
+	clk := newFakeClock()
+	obj := FairnessObjective(0.9, 0.95)
+	obj.Alerts = []Alert{{Long: 10 * time.Minute, Short: 2 * time.Minute, Burn: 2}}
+	e := NewEvaluator([]Objective{obj}, WithClock(clk.now))
+
+	var st Status
+	for i := 0; i < 10; i++ {
+		st = e.Tick(gaugeSnap("fleet_jain_index", 0.97))[0]
+		clk.advance(time.Minute)
+	}
+	if st.Alerting {
+		t.Fatalf("fair fleet alerting: %+v", st)
+	}
+	if st.Current != 0.97 {
+		t.Fatalf("gauge current = %g, want raw value 0.97", st.Current)
+	}
+
+	// Fairness collapses: every tick is now a bad event.
+	for i := 0; i < 10; i++ {
+		st = e.Tick(gaugeSnap("fleet_jain_index", 0.5))[0]
+		clk.advance(time.Minute)
+	}
+	if !st.Alerting {
+		t.Fatalf("collapsed fairness must alert: %+v", st)
+	}
+}
+
+func TestMissingMetricIsQuiet(t *testing.T) {
+	clk := newFakeClock()
+	e := NewEvaluator(DefaultObjectives(), WithClock(clk.now))
+	statuses := e.Tick(nil)
+	if len(statuses) != 2 {
+		t.Fatalf("want a status per objective, got %d", len(statuses))
+	}
+	for _, st := range statuses {
+		if st.Alerting {
+			t.Fatalf("absent metric must not alert: %+v", st)
+		}
+	}
+}
+
+func TestEmptyHistogramNoBurn(t *testing.T) {
+	clk := newFakeClock()
+	e := NewEvaluator(DefaultObjectives(), WithClock(clk.now))
+	var statuses []Status
+	for i := 0; i < 5; i++ {
+		statuses = e.Tick(histSnap("dased_estimate_latency_seconds",
+			[]float64{0.001}, []uint64{0, 0}))
+		clk.advance(time.Minute)
+	}
+	st := statuses[0]
+	if st.MaxBurn != 0 || st.Alerting {
+		t.Fatalf("idle service must not burn: %+v", st)
+	}
+	if st.Current != 1 {
+		t.Fatalf("idle current = %g, want 1 (no observations, no violations)", st.Current)
+	}
+}
+
+func TestSampleTrimKeepsWindowBaseline(t *testing.T) {
+	clk := newFakeClock()
+	obj := Objective{
+		Name: "lat", Metric: "m", Threshold: 1, Target: 0.5,
+		Alerts: []Alert{{Long: 5 * time.Minute, Short: time.Minute, Burn: 1}},
+	}
+	e := NewEvaluator([]Objective{obj}, WithClock(clk.now))
+	var good uint64
+	for i := 0; i < 200; i++ {
+		good += 10
+		e.Tick(histSnap("m", []float64{1}, []uint64{good, 0}))
+		clk.advance(time.Minute)
+	}
+	if n := len(e.states[0].samples); n > 10 {
+		t.Fatalf("sample ring not trimmed: %d samples retained for a 5m window", n)
+	}
+}
+
+func TestStatusesReturnsLastTick(t *testing.T) {
+	clk := newFakeClock()
+	e := NewEvaluator(DefaultObjectives(), WithClock(clk.now))
+	if got := e.Statuses(); got != nil {
+		t.Fatalf("statuses before any tick = %+v, want nil", got)
+	}
+	want := e.Tick(nil)
+	got := e.Statuses()
+	if len(got) != len(want) || got[0].Name != want[0].Name {
+		t.Fatalf("Statuses() = %+v, want %+v", got, want)
+	}
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -40,6 +41,14 @@ type JSONEvent struct {
 
 	Attempt  int32 `json:"attempt,omitempty"`
 	CacheHit bool  `json:"cache_hit,omitempty"`
+
+	TraceID  string `json:"trace_id,omitempty"`
+	SpanID   string `json:"span_id,omitempty"`
+	ParentID string `json:"parent_id,omitempty"`
+	Node     string `json:"node,omitempty"`
+
+	Dur      int64   `json:"dur_ns,omitempty"`
+	Deserved float64 `json:"deserved,omitempty"`
 }
 
 // toJSON converts an Event to its wire form.
@@ -52,6 +61,9 @@ func (e *Event) toJSON() JSONEvent {
 		MBB: e.MBB, Est: e.Est, Actual: e.Actual, Served: e.Served, SMs: e.SMs,
 		CurScore: e.CurScore, BestScore: e.BestScore, Realloc: e.Realloc,
 		Attempt: e.Attempt, CacheHit: e.CacheHit,
+		TraceID: FormatSpanID(e.TraceID), SpanID: FormatSpanID(e.SpanID),
+		ParentID: FormatSpanID(e.ParentID), Node: e.Node,
+		Dur: e.Dur, Deserved: e.Deserved,
 	}
 	if n := int(e.NApps); n > 0 && n <= MaxApps {
 		j.Alloc = append(j.Alloc, e.Alloc[:n]...)
@@ -69,7 +81,11 @@ func (j *JSONEvent) toEvent() Event {
 		MBB: j.MBB, Est: j.Est, Actual: j.Actual, Served: j.Served, SMs: j.SMs,
 		CurScore: j.CurScore, BestScore: j.BestScore, Realloc: j.Realloc,
 		Attempt: j.Attempt, CacheHit: j.CacheHit,
+		Node: j.Node, Dur: j.Dur, Deserved: j.Deserved,
 	}
+	e.TraceID, _ = ParseSpanID(j.TraceID)
+	e.SpanID, _ = ParseSpanID(j.SpanID)
+	e.ParentID, _ = ParseSpanID(j.ParentID)
 	if n := len(j.Alloc); n > 0 && n <= MaxApps {
 		e.NApps = int32(n)
 		copy(e.Alloc[:], j.Alloc)
@@ -116,6 +132,47 @@ func ReadNDJSON(r io.Reader) ([]Event, error) {
 	return out, nil
 }
 
+// ReadNDJSONStrict parses an NDJSON event stream like ReadNDJSON, but treats
+// schema deviations as errors instead of smoothing them over: unknown event
+// kinds, unknown fields, and malformed trace ids all fail, naming the
+// offending line. This is the validation mode cmd/dasetrace and CI use so a
+// corrupt or foreign stream is rejected loudly rather than silently rendered
+// as a partial timeline.
+func ReadNDJSONStrict(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var j JSONEvent
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&j); err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
+		}
+		if KindFromString(j.Kind) == 0 {
+			return nil, fmt.Errorf("telemetry: line %d: unknown event kind %q", line, j.Kind)
+		}
+		for _, p := range [...]struct{ name, v string }{
+			{"trace_id", j.TraceID}, {"span_id", j.SpanID}, {"parent_id", j.ParentID},
+		} {
+			if _, err := ParseSpanID(p.v); err != nil {
+				return nil, fmt.Errorf("telemetry: line %d: invalid %s %q", line, p.name, p.v)
+			}
+		}
+		out = append(out, j.toEvent())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: read ndjson: %w", err)
+	}
+	return out, nil
+}
+
 // chromeEvent is one entry of the Chrome trace-event format's traceEvents
 // array (the subset of the spec we emit: metadata M, complete X, instant i,
 // and counter C phases).
@@ -142,6 +199,14 @@ type chromeTrace struct {
 const (
 	chromePidJobs   = 1
 	chromePidCycles = 2
+	// chromePidNodeBase is the first pid used for per-node tracks in merged
+	// cross-node traces: events carrying a Node name get one synthetic
+	// process per node, assigned in sorted node-name order, so a forwarded
+	// or stolen job reads as spans hopping across node tracks.
+	chromePidNodeBase = 16
+	// chromeTidRPC is the per-node thread carrying cluster RPC spans and
+	// routing decisions.
+	chromeTidRPC = 1000
 )
 
 // WriteChromeTrace renders events as Chrome trace-event JSON, loadable in
@@ -160,8 +225,41 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			Args: map[string]any{"name": "simulation (cycle domain)"}},
 	}}
 
+	// Merged cross-node traces: one synthetic process per node name, in
+	// sorted order. Events without a Node keep the legacy pids, so
+	// single-process traces render exactly as before.
+	nodePid := map[string]int{}
+	var nodeOrder []string
+	for i := range events {
+		if n := events[i].Node; n != "" {
+			if _, ok := nodePid[n]; !ok {
+				nodePid[n] = 0
+				nodeOrder = append(nodeOrder, n)
+			}
+		}
+	}
+	sort.Strings(nodeOrder)
+	for i, n := range nodeOrder {
+		nodePid[n] = chromePidNodeBase + i
+		tr.TraceEvents = append(tr.TraceEvents,
+			chromeEvent{Name: "process_name", Ph: "M", Pid: nodePid[n], Tid: 0,
+				Args: map[string]any{"name": "node " + n}},
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: nodePid[n], Tid: chromeTidRPC,
+				Args: map[string]any{"name": "cluster rpc"}})
+	}
+	jobPid := func(node string) int {
+		if p, ok := nodePid[node]; ok {
+			return p
+		}
+		return chromePidJobs
+	}
+
 	// Pass 1: job span boundaries (queued -> terminal wall times).
-	type span struct{ queued, done int64 }
+	type span struct {
+		queued, done int64
+		node         string
+		trace        uint64
+	}
 	spans := map[string]*span{}
 	var jobOrder []string
 	for i := range events {
@@ -169,7 +267,7 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		switch e.Kind {
 		case KindJobQueued:
 			if _, ok := spans[e.Job]; !ok {
-				spans[e.Job] = &span{queued: e.Wall}
+				spans[e.Job] = &span{queued: e.Wall, node: e.Node, trace: e.TraceID}
 				jobOrder = append(jobOrder, e.Job)
 			}
 		case KindJobDone:
@@ -186,11 +284,15 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	for _, id := range jobOrder {
 		sp := spans[id]
 		if sp.done > sp.queued {
-			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			ev := chromeEvent{
 				Name: "job " + id, Ph: "X",
 				Ts: float64(sp.queued) / 1e3, Dur: float64(sp.done-sp.queued) / 1e3,
-				Pid: chromePidJobs, Tid: jobTid[id],
-			})
+				Pid: jobPid(sp.node), Tid: jobTid[id],
+			}
+			if sp.trace != 0 {
+				ev.Args = map[string]any{"trace_id": FormatSpanID(sp.trace)}
+			}
+			tr.TraceEvents = append(tr.TraceEvents, ev)
 		}
 	}
 
@@ -213,9 +315,25 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			if e.Kind == KindJobDone {
 				args["cache_hit"] = e.CacheHit
 			}
+			addSpanArgs(args, e)
 			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
 				Name: e.Kind.String(), Ph: "i", Ts: float64(e.Wall) / 1e3,
-				Pid: chromePidJobs, Tid: tid, S: "t", Args: args,
+				Pid: jobPid(e.Node), Tid: tid, S: "t", Args: args,
+			})
+		case KindClusterRPC:
+			args := map[string]any{"peer": e.Job, "ok": e.CacheHit}
+			addSpanArgs(args, e)
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: "rpc " + e.Note, Ph: "X",
+				Ts: float64(e.Wall) / 1e3, Dur: float64(e.Dur) / 1e3,
+				Pid: jobPid(e.Node), Tid: chromeTidRPC, Args: args,
+			})
+		case KindJobRouted:
+			args := map[string]any{"job": e.Job, "peer": e.Note}
+			addSpanArgs(args, e)
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: "job.routed", Ph: "i", Ts: float64(e.Wall) / 1e3,
+				Pid: jobPid(e.Node), Tid: chromeTidRPC, S: "t", Args: args,
 			})
 		case KindInterval:
 			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
@@ -267,6 +385,20 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(tr)
+}
+
+// addSpanArgs attaches the event's trace context to a chrome event's args.
+func addSpanArgs(args map[string]any, e *Event) {
+	if e.TraceID == 0 {
+		return
+	}
+	args["trace_id"] = FormatSpanID(e.TraceID)
+	if e.SpanID != 0 {
+		args["span_id"] = FormatSpanID(e.SpanID)
+	}
+	if e.ParentID != 0 {
+		args["parent_id"] = FormatSpanID(e.ParentID)
+	}
 }
 
 // ValidateChromeTrace checks that data is structurally valid Chrome

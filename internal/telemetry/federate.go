@@ -1,0 +1,274 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file is the metrics-federation layer: point-in-time registry
+// snapshots that travel as JSON between cluster nodes, merge semantics
+// (counters add, gauges sum, histograms merge buckets), a node-label
+// preserving variant, and Prometheus text rendering of merged snapshots.
+// The cluster's GET /v1/cluster/metrics endpoint is scatter-gather over
+// per-node Snapshot() results glued together with MergeSnapshots.
+
+// FamilySnapshot is a point-in-time copy of one metric family, in a wire
+// form that survives JSON between nodes.
+type FamilySnapshot struct {
+	Name       string          `json:"name"`
+	Help       string          `json:"help"`
+	Type       string          `json:"type"` // "counter" | "gauge" | "histogram"
+	LabelNames []string        `json:"label_names,omitempty"`
+	Buckets    []float64       `json:"buckets,omitempty"` // histogram upper bounds, +Inf implicit
+	Points     []PointSnapshot `json:"points"`
+}
+
+// PointSnapshot is one label-value tuple's samples. For counters and gauges
+// Value holds the sample; for histograms BucketCounts holds per-bucket
+// (non-cumulative) counts with the +Inf bucket last, plus Sum and Count.
+type PointSnapshot struct {
+	LabelValues  []string `json:"label_values,omitempty"`
+	Value        float64  `json:"value"`
+	BucketCounts []uint64 `json:"bucket_counts,omitempty"`
+	Sum          float64  `json:"sum,omitempty"`
+	Count        uint64   `json:"count,omitempty"`
+}
+
+// Snapshot copies every registered family, sorted by name, children in
+// registration order. Func-backed families are sampled once.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.fams[n]
+	}
+	r.mu.Unlock()
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{
+			Name: f.Name, Help: f.Help, Type: f.Type,
+			LabelNames: append([]string(nil), f.labelNames...),
+			Buckets:    append([]float64(nil), f.buckets...),
+		}
+		if f.fn != nil {
+			fs.Points = []PointSnapshot{{Value: f.fn()}}
+			out = append(out, fs)
+			continue
+		}
+		f.mu.Lock()
+		children := make([]*child, 0, len(f.order))
+		for _, key := range f.order {
+			children = append(children, f.children[key])
+		}
+		f.mu.Unlock()
+		for _, c := range children {
+			p := PointSnapshot{LabelValues: append([]string(nil), c.labelValues...)}
+			switch f.Type {
+			case "histogram":
+				p.BucketCounts = make([]uint64, len(c.bucketCounts))
+				for i := range c.bucketCounts {
+					p.BucketCounts[i] = c.bucketCounts[i].Load()
+				}
+				p.Sum = histogramSum(c)
+				p.Count = c.count.Load()
+			case "counter":
+				p.Value = float64(c.bits.Load())
+			default:
+				p.Value = gaugeValue(c)
+			}
+			fs.Points = append(fs.Points, p)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// NodeSnapshot is one cluster member's full registry snapshot.
+type NodeSnapshot struct {
+	Node     string           `json:"node"`
+	Families []FamilySnapshot `json:"families"`
+}
+
+// MergeSnapshots folds per-node snapshots into one cluster-wide view:
+// families are matched by name, points by label values; counters and gauges
+// add, histograms merge bucket counts (bounds must match — a family whose
+// type or buckets disagree with the first-seen definition is skipped, which
+// only happens across mixed binary versions). Output families are sorted by
+// name; merged points are sorted by label values.
+func MergeSnapshots(nodes []NodeSnapshot) []FamilySnapshot {
+	type mergedFam struct {
+		FamilySnapshot
+		points map[string]*PointSnapshot
+		order  []string
+	}
+	fams := map[string]*mergedFam{}
+	var order []string
+	for _, n := range nodes {
+		for _, f := range n.Families {
+			mf, ok := fams[f.Name]
+			if !ok {
+				mf = &mergedFam{FamilySnapshot: FamilySnapshot{
+					Name: f.Name, Help: f.Help, Type: f.Type,
+					LabelNames: f.LabelNames, Buckets: f.Buckets,
+				}, points: map[string]*PointSnapshot{}}
+				fams[f.Name] = mf
+				order = append(order, f.Name)
+			} else if mf.Type != f.Type || !equalBuckets(mf.Buckets, f.Buckets) {
+				continue // mixed definitions: keep the first-seen shape
+			}
+			for _, p := range f.Points {
+				key := strings.Join(p.LabelValues, "\xff")
+				mp, ok := mf.points[key]
+				if !ok {
+					cp := p
+					cp.LabelValues = append([]string(nil), p.LabelValues...)
+					cp.BucketCounts = append([]uint64(nil), p.BucketCounts...)
+					mf.points[key] = &cp
+					mf.order = append(mf.order, key)
+					continue
+				}
+				mp.Value += p.Value
+				mp.Sum += p.Sum
+				mp.Count += p.Count
+				for i := range mp.BucketCounts {
+					if i < len(p.BucketCounts) {
+						mp.BucketCounts[i] += p.BucketCounts[i]
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(order)
+	out := make([]FamilySnapshot, 0, len(order))
+	for _, name := range order {
+		mf := fams[name]
+		sort.Strings(mf.order)
+		for _, key := range mf.order {
+			mf.FamilySnapshot.Points = append(mf.FamilySnapshot.Points, *mf.points[key])
+		}
+		out = append(out, mf.FamilySnapshot)
+	}
+	return out
+}
+
+// ByNodeSnapshots is the node-label preserving variant of MergeSnapshots:
+// every point gains a leading "node" label carrying its origin, so nothing
+// is summed away.
+func ByNodeSnapshots(nodes []NodeSnapshot) []FamilySnapshot {
+	relabeled := make([]NodeSnapshot, 0, len(nodes))
+	for _, n := range nodes {
+		fams := make([]FamilySnapshot, 0, len(n.Families))
+		for _, f := range n.Families {
+			rf := f
+			rf.LabelNames = append([]string{"node"}, f.LabelNames...)
+			rf.Points = make([]PointSnapshot, 0, len(f.Points))
+			for _, p := range f.Points {
+				rp := p
+				rp.LabelValues = append([]string{n.Node}, p.LabelValues...)
+				rf.Points = append(rf.Points, rp)
+			}
+			fams = append(fams, rf)
+		}
+		relabeled = append(relabeled, NodeSnapshot{Node: n.Node, Families: fams})
+	}
+	return MergeSnapshots(relabeled)
+}
+
+// WritePrometheusSnapshot renders snapshot families in the same text
+// exposition format WritePrometheus produces, so a federated view scrapes
+// like a single node.
+func WritePrometheusSnapshot(w io.Writer, fams []FamilySnapshot) {
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.Name, f.Help, f.Name, f.Type)
+		for _, p := range f.Points {
+			switch f.Type {
+			case "histogram":
+				base := labelPairs(f.LabelNames, p.LabelValues)
+				var cum uint64
+				for i, bound := range f.Buckets {
+					if i < len(p.BucketCounts) {
+						cum += p.BucketCounts[i]
+					}
+					pairs := append(append([]string(nil), base...), fmt.Sprintf("le=%q", formatFloat(bound)))
+					fmt.Fprintf(w, "%s_bucket{%s} %d\n", f.Name, strings.Join(pairs, ","), cum)
+				}
+				if len(p.BucketCounts) == len(f.Buckets)+1 {
+					cum += p.BucketCounts[len(f.Buckets)]
+				}
+				pairs := append(append([]string(nil), base...), `le="+Inf"`)
+				fmt.Fprintf(w, "%s_bucket{%s} %d\n", f.Name, strings.Join(pairs, ","), cum)
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, labelString(f.LabelNames, p.LabelValues), formatFloat(p.Sum))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.Name, labelString(f.LabelNames, p.LabelValues), p.Count)
+			default:
+				fmt.Fprintf(w, "%s%s %s\n", f.Name, labelString(f.LabelNames, p.LabelValues), formatFloat(p.Value))
+			}
+		}
+	}
+}
+
+// HistogramQuantile estimates the q-quantile (0..1) from per-bucket counts
+// (the PointSnapshot layout: one count per bound, +Inf last), interpolating
+// linearly within the winning bucket the way Prometheus histogram_quantile
+// does. It returns 0 when the histogram is empty; a quantile landing in the
+// +Inf bucket returns the highest finite bound.
+func HistogramQuantile(q float64, bounds []float64, counts []uint64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(bounds) {
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		return lo + (bounds[i]-lo)*(rank-prev)/float64(c)
+	}
+	return bounds[len(bounds)-1]
+}
+
+// equalBuckets reports whether two bucket-bound slices are identical.
+func equalBuckets(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// gaugeValue reads a gauge child's float64 value.
+func gaugeValue(c *child) float64 { return math.Float64frombits(c.bits.Load()) }
+
+// histogramSum reads a histogram child's observation sum.
+func histogramSum(c *child) float64 { return math.Float64frombits(c.sumBits.Load()) }

@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// twoNodeSnapshots builds two registries with overlapping families and
+// returns their snapshots: counters, gauges, a labeled counter, and a
+// histogram with identical bounds.
+func twoNodeSnapshots() []NodeSnapshot {
+	mk := func(jobs float64, queue float64, method string, rpcs float64, obs ...float64) []FamilySnapshot {
+		reg := NewRegistry()
+		reg.Counter("jobs_total", "Jobs.").Add(uint64(jobs))
+		reg.Gauge("queue_depth", "Queue.").Set(queue)
+		reg.CounterVec("rpcs_total", "RPCs.", "method").With(method).Add(uint64(rpcs))
+		h := reg.Histogram("latency_seconds", "Latency.", 0.01, 0.1, 1)
+		for _, o := range obs {
+			h.Observe(o)
+		}
+		return reg.Snapshot()
+	}
+	return []NodeSnapshot{
+		{Node: "n1", Families: mk(10, 3, "steal", 7, 0.005, 0.5)},
+		{Node: "n2", Families: mk(5, 4, "forward", 2, 0.05, 2)},
+	}
+}
+
+func findFam(t *testing.T, fams []FamilySnapshot, name string) FamilySnapshot {
+	t.Helper()
+	for _, f := range fams {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("family %s missing from %d families", name, len(fams))
+	return FamilySnapshot{}
+}
+
+func TestMergeSnapshotsCountersAndGauges(t *testing.T) {
+	merged := MergeSnapshots(twoNodeSnapshots())
+
+	if got := findFam(t, merged, "jobs_total").Points[0].Value; got != 15 {
+		t.Errorf("merged counter = %v, want 15 (10+5)", got)
+	}
+	if got := findFam(t, merged, "queue_depth").Points[0].Value; got != 7 {
+		t.Errorf("merged gauge = %v, want 7 (3+4)", got)
+	}
+	// Distinct label values stay separate points, sorted by label value.
+	rpcs := findFam(t, merged, "rpcs_total")
+	if len(rpcs.Points) != 2 {
+		t.Fatalf("rpcs_total has %d points, want 2", len(rpcs.Points))
+	}
+	if rpcs.Points[0].LabelValues[0] != "forward" || rpcs.Points[0].Value != 2 {
+		t.Errorf("point 0 = %v %v", rpcs.Points[0].LabelValues, rpcs.Points[0].Value)
+	}
+	if rpcs.Points[1].LabelValues[0] != "steal" || rpcs.Points[1].Value != 7 {
+		t.Errorf("point 1 = %v %v", rpcs.Points[1].LabelValues, rpcs.Points[1].Value)
+	}
+}
+
+func TestMergeSnapshotsHistograms(t *testing.T) {
+	merged := MergeSnapshots(twoNodeSnapshots())
+	h := findFam(t, merged, "latency_seconds")
+	p := h.Points[0]
+	// n1 observed 0.005 (bucket ≤0.01) and 0.5 (≤1); n2 observed 0.05 (≤0.1)
+	// and 2 (+Inf).
+	wantBuckets := []uint64{1, 1, 1, 1}
+	for i, want := range wantBuckets {
+		if p.BucketCounts[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, p.BucketCounts[i], want)
+		}
+	}
+	if p.Count != 4 {
+		t.Errorf("count = %d, want 4", p.Count)
+	}
+	if math.Abs(p.Sum-2.555) > 1e-9 {
+		t.Errorf("sum = %v, want 2.555", p.Sum)
+	}
+}
+
+func TestMergeSnapshotsSkipsMismatchedShapes(t *testing.T) {
+	a := NewRegistry()
+	a.Histogram("h", "H.", 0.1, 1).Observe(0.05)
+	b := NewRegistry()
+	b.Histogram("h", "H.", 0.5, 5).Observe(0.05)
+	merged := MergeSnapshots([]NodeSnapshot{
+		{Node: "n1", Families: a.Snapshot()},
+		{Node: "n2", Families: b.Snapshot()},
+	})
+	h := findFam(t, merged, "h")
+	// First-seen shape wins; the mismatched node's points are dropped rather
+	// than merged into wrong buckets.
+	if len(h.Buckets) != 2 || h.Buckets[0] != 0.1 {
+		t.Errorf("buckets = %v, want first-seen [0.1 1]", h.Buckets)
+	}
+	if h.Points[0].Count != 1 {
+		t.Errorf("count = %d, want 1 (mismatched node skipped)", h.Points[0].Count)
+	}
+}
+
+func TestByNodeSnapshotsPreservesOrigin(t *testing.T) {
+	fams := ByNodeSnapshots(twoNodeSnapshots())
+	jobs := findFam(t, fams, "jobs_total")
+	if len(jobs.LabelNames) == 0 || jobs.LabelNames[0] != "node" {
+		t.Fatalf("label names = %v, want leading \"node\"", jobs.LabelNames)
+	}
+	if len(jobs.Points) != 2 {
+		t.Fatalf("jobs_total has %d points, want one per node", len(jobs.Points))
+	}
+	byNode := map[string]float64{}
+	for _, p := range jobs.Points {
+		byNode[p.LabelValues[0]] = p.Value
+	}
+	if byNode["n1"] != 10 || byNode["n2"] != 5 {
+		t.Errorf("per-node values = %v, want n1:10 n2:5", byNode)
+	}
+}
+
+func TestWritePrometheusSnapshotRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	WritePrometheusSnapshot(&sb, MergeSnapshots(twoNodeSnapshots()))
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE jobs_total counter",
+		"jobs_total 15",
+		"queue_depth 7",
+		`rpcs_total{method="steal"} 7`,
+		`latency_seconds_bucket{le="+Inf"} 4`,
+		"latency_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket rendering: the ≤1 bucket holds 3 of the 4 samples.
+	if !strings.Contains(out, `latency_seconds_bucket{le="1"} 3`) {
+		t.Errorf("cumulative bucket wrong:\n%s", out)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	bounds := []float64{0.1, 0.2, 0.4}
+	cases := []struct {
+		q      float64
+		counts []uint64
+		want   float64
+	}{
+		{0.5, []uint64{10, 0, 0, 0}, 0.05}, // interpolates inside first bucket
+		{1.0, []uint64{10, 0, 0, 0}, 0.1},  // top of first bucket
+		{0.5, []uint64{0, 10, 0, 0}, 0.15}, // second bucket midpoint
+		{0.99, []uint64{0, 0, 0, 10}, 0.4}, // +Inf bucket clamps to max bound
+		{0.5, []uint64{0, 0, 0, 0}, 0},     // empty histogram
+		{-1, []uint64{10, 0, 0, 0}, 0},     // q clamped low
+		{2, []uint64{10, 0, 0, 0}, 0.1},    // q clamped high
+		{0.75, []uint64{5, 5, 0, 0}, 0.15}, // rank 7.5 interpolates the second bucket
+	}
+	for _, c := range cases {
+		if got := HistogramQuantile(c.q, bounds, c.counts); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("HistogramQuantile(%v, %v) = %v, want %v", c.q, c.counts, got, c.want)
+		}
+	}
+	if got := HistogramQuantile(0.5, nil, nil); got != 0 {
+		t.Errorf("empty bounds = %v, want 0", got)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "C.").Add(3)
+	reg.Histogram("h_seconds", "H.", 0.1, 1).Observe(0.05)
+	snap := NodeSnapshot{Node: "n1", Families: reg.Snapshot()}
+
+	var sb strings.Builder
+	WritePrometheusSnapshot(&sb, MergeSnapshots([]NodeSnapshot{snap}))
+	direct := sb.String()
+
+	var sb2 strings.Builder
+	reg.WritePrometheus(&sb2)
+	// The snapshot path must render the same samples as the live registry
+	// (modulo family interleaving, which is sorted in both).
+	for _, line := range strings.Split(direct, "\n") {
+		if line == "" {
+			continue
+		}
+		if !strings.Contains(sb2.String(), line) {
+			t.Errorf("snapshot rendering %q not in live exposition:\n%s", line, sb2.String())
+		}
+	}
+}

@@ -201,6 +201,27 @@ func (r *Registry) Histogram(name, help string, buckets ...float64) *Histogram {
 	return &Histogram{f: f, c: f.childFor(nil)}
 }
 
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labelled histogram family with the given upper
+// bucket bounds (must be increasing; +Inf is implicit).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(&family{
+		Family:     Family{Name: name, Help: help, Type: "histogram"},
+		buckets:    append([]float64(nil), buckets...),
+		labelNames: labelNames,
+	})}
+}
+
+// With returns the histogram for the given label values (created on first
+// use). Hot paths should resolve their children once up front: With takes
+// the family lock and allocates the lookup key, while Observe on the
+// returned histogram is lock-free and allocation-free.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return &Histogram{f: v.f, c: v.f.childFor(labelValues)}
+}
+
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	if math.IsNaN(v) {

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// SpanContext identifies one hop of a distributed operation: which trace the
+// operation belongs to (TraceID, constant across nodes), which span this hop
+// is (SpanID), and which span caused it (ParentID, zero for a root). IDs are
+// uint64 and rendered as 16-digit hex on the wire; zero means "absent".
+//
+// The context rides on cluster RPC headers (TraceIDHeader/SpanIDHeader) and
+// on every job-lifecycle trace event, so a job that is submitted on node A,
+// forwarded to node B and stolen by node C leaves a chain of spans sharing
+// one TraceID that cmd/dasetrace can reassemble from merged NDJSON.
+type SpanContext struct {
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64
+}
+
+// Valid reports whether the context names a trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 }
+
+// Cluster RPC trace-propagation headers. The caller writes its TraceID and
+// its own SpanID; the callee reads them back with SpanFromHeaders, where the
+// caller's span becomes the parent of every span the callee mints.
+const (
+	TraceIDHeader = "X-Dased-Trace-Id"
+	SpanIDHeader  = "X-Dased-Span-Id"
+)
+
+// SetHeaders writes the context onto an outgoing request's headers. A zero
+// context writes nothing.
+func (sc SpanContext) SetHeaders(h http.Header) {
+	if !sc.Valid() {
+		return
+	}
+	h.Set(TraceIDHeader, FormatSpanID(sc.TraceID))
+	if sc.SpanID != 0 {
+		h.Set(SpanIDHeader, FormatSpanID(sc.SpanID))
+	}
+}
+
+// SpanFromHeaders parses an incoming request's trace headers. The remote
+// caller's span id lands in ParentID (SpanID stays zero — the callee mints
+// its own with SpanSource.Child). Absent or malformed headers yield the zero
+// context.
+func SpanFromHeaders(h http.Header) SpanContext {
+	tid, err := ParseSpanID(h.Get(TraceIDHeader))
+	if err != nil || tid == 0 {
+		return SpanContext{}
+	}
+	sid, err := ParseSpanID(h.Get(SpanIDHeader))
+	if err != nil {
+		sid = 0
+	}
+	return SpanContext{TraceID: tid, ParentID: sid}
+}
+
+// FormatSpanID renders an id as 16-digit lower-case hex (the wire and NDJSON
+// form). Zero renders as the empty string.
+func FormatSpanID(id uint64) string {
+	if id == 0 {
+		return ""
+	}
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = "0123456789abcdef"[id&0xf]
+		id >>= 4
+	}
+	return string(buf[:])
+}
+
+// ParseSpanID is FormatSpanID's inverse; the empty string parses to zero.
+func ParseSpanID(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(s, 16, 64)
+}
+
+// Span returns the event's trace context.
+func (e *Event) Span() SpanContext {
+	return SpanContext{TraceID: e.TraceID, SpanID: e.SpanID, ParentID: e.ParentID}
+}
+
+// SetSpan stamps the context onto the event.
+func (e *Event) SetSpan(sc SpanContext) {
+	e.TraceID, e.SpanID, e.ParentID = sc.TraceID, sc.SpanID, sc.ParentID
+}
+
+// SpanSource mints span and trace ids from a splitmix64 stream, so tests that
+// seed the source get fully deterministic ids (splitmix64 is the same
+// generator the fault-injection registry and the engine's seeded RNGs build
+// on: tiny state, full 2^64 period, and every output is non-zero-biased
+// enough that we just skip the rare zero).
+type SpanSource struct {
+	mu    sync.Mutex
+	state uint64
+}
+
+// NewSpanSource builds a source seeded deterministically.
+func NewSpanSource(seed uint64) *SpanSource {
+	return &SpanSource{state: seed}
+}
+
+// next returns the next splitmix64 output, skipping zero (zero means "absent"
+// on the wire).
+func (s *SpanSource) next() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		s.state += 0x9e3779b97f4a7c15
+		z := s.state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		if z != 0 {
+			return z
+		}
+	}
+}
+
+// Root mints a new trace: fresh TraceID and SpanID, no parent.
+func (s *SpanSource) Root() SpanContext {
+	return SpanContext{TraceID: s.next(), SpanID: s.next()}
+}
+
+// Child mints a span continuing parent's trace. The parent may be a full
+// local span (its SpanID becomes the ParentID) or a wire context parsed by
+// SpanFromHeaders (its ParentID is carried through). An invalid parent
+// starts a new root trace.
+func (s *SpanSource) Child(parent SpanContext) SpanContext {
+	if !parent.Valid() {
+		return s.Root()
+	}
+	pid := parent.SpanID
+	if pid == 0 {
+		pid = parent.ParentID
+	}
+	return SpanContext{TraceID: parent.TraceID, SpanID: s.next(), ParentID: pid}
+}

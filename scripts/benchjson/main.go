@@ -141,11 +141,47 @@ func appendEntry(path string, entry Entry) ([]Entry, error) {
 	return entries, nil
 }
 
+// checkTrajectory validates a committed trajectory file: it must parse as a
+// non-empty entry array and the newest entry must carry at least one dated
+// benchmark. CI gates on this so an empty or mangled trajectory — the silent
+// failure mode of a piped bench run — turns into a loud error.
+func checkTrajectory(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("%s: trajectory is empty", path)
+	}
+	last := entries[len(entries)-1]
+	if last.Date == "" {
+		return fmt.Errorf("%s: newest entry has no date", path)
+	}
+	if len(last.Benchmarks) == 0 {
+		return fmt.Errorf("%s: newest entry (%s) has no benchmarks", path, last.Date)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d entries, newest %s (%s) with %d benchmarks\n",
+		path, len(entries), last.Date, last.Commit, len(last.Benchmarks))
+	return nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_cycles.json", "trajectory file to append to")
 	note := flag.String("note", "", "free-form label for this entry")
 	commit := flag.String("commit", "", "commit id (default: git rev-parse --short HEAD)")
+	check := flag.Bool("check", false, "validate the -out trajectory file and exit instead of reading stdin")
 	flag.Parse()
+
+	if *check {
+		if err := checkTrajectory(*out); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
 
 	if *commit == "" {
 		if b, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {

@@ -152,3 +152,41 @@ BenchmarkServeClosed-8   	  100000	      9000 ns/op	  115000 qps	    7300 p50-ns
 		t.Error("built-in ns/op must not be duplicated into Extra")
 	}
 }
+
+func TestCheckTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := write("good.json", `[{"date":"2026-08-08","commit":"abc","benchmarks":{"GPUCycle":{"ns_per_op":1,"runs":1}}}]`)
+	if err := checkTrajectory(good); err != nil {
+		t.Errorf("valid trajectory rejected: %v", err)
+	}
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"empty array", `[]`, "empty"},
+		{"malformed", `{"not":"an array"`, "parse"},
+		{"no benchmarks", `[{"date":"2026-08-08","commit":"abc","benchmarks":{}}]`, "no benchmarks"},
+		{"no date", `[{"commit":"abc","benchmarks":{"X":{"ns_per_op":1,"runs":1}}}]`, "no date"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := write("bad.json", c.content)
+			err := checkTrajectory(path)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+	if err := checkTrajectory(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
